@@ -1,0 +1,71 @@
+// Command dumpbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dumpbench -list
+//	dumpbench [-quick] [-v] fig3a table1 ...
+//	dumpbench [-quick] [-v] all
+//
+// Each experiment prints the same rows/series the paper reports; -quick
+// shrinks process counts for a fast smoke run, the default uses the
+// paper's scales (up to 408 ranks, simulated in process).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dedupcr/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments and exit")
+	quick := flag.Bool("quick", false, "shrink process counts for a fast run")
+	verbose := flag.Bool("v", false, "print scenario progress to stderr")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dumpbench [-quick] [-v] <experiment-id>... | all\n")
+		fmt.Fprintf(os.Stderr, "       dumpbench -list\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var ids []string
+	if len(args) == 1 && args[0] == "all" {
+		for _, e := range experiments.Registry {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = args
+	}
+
+	cfg := experiments.Config{Quick: *quick, Verbose: *verbose}
+	for _, id := range ids {
+		exp, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dumpbench: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tab, err := exp.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dumpbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(tab.Render())
+		fmt.Printf("(%s finished in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestQuickSmoke builds dumpbench and runs one quick experiment end to
+// end, verifying the table renders.
+func TestQuickSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a subprocess")
+	}
+	bin := filepath.Join(t.TempDir(), "dumpbench")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-quick", "fig3a").CombinedOutput()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	for _, want := range []string{"fig3a", "no-dedup", "coll-dedup", "HPCCG"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = exec.Command(bin, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("list: %v\n%s", err, out)
+	}
+	for _, id := range []string{"fig3a", "fig3b", "fig3c", "table1", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "fig5c"} {
+		if !strings.Contains(string(out), id) {
+			t.Errorf("-list missing %q", id)
+		}
+	}
+
+	if out, err := exec.Command(bin, "nonsense").CombinedOutput(); err == nil {
+		t.Errorf("unknown experiment accepted:\n%s", out)
+	}
+}

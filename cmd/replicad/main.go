@@ -1,0 +1,190 @@
+// Command replicad runs one rank of a real multi-process collective dump
+// over TCP sockets — the deployment mode where every rank is its own OS
+// process (possibly on different machines) with a disk-backed local
+// store, exercising the exact code path an MPI job would.
+//
+// Start N processes with the same host file (one "host:port" per line,
+// line i = rank i) and the same options:
+//
+//	replicad -rank 0 -hosts hosts.txt -store /tmp/node0 -k 3 dump -workload hpccg
+//	replicad -rank 1 -hosts hosts.txt -store /tmp/node1 -k 3 dump -workload hpccg
+//	...
+//	replicad -rank 0 -hosts hosts.txt -store /tmp/node0 restore -out ck.bin
+//
+// The dump verb either checkpoints a generated workload (-workload
+// hpccg|cm1) or dumps a file (-in path); restore reassembles the dataset
+// (pulling remotely replicated chunks if the local store was wiped).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dedupcr/internal/apps/cm1"
+	"dedupcr/internal/apps/hpccg"
+	"dedupcr/internal/collectives"
+	"dedupcr/internal/core"
+	"dedupcr/internal/storage"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "replicad: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rank := flag.Int("rank", -1, "this process's rank")
+	hosts := flag.String("hosts", "", "host file: one host:port per line, line i = rank i")
+	storeDir := flag.String("store", "", "local store directory (default: in-memory)")
+	k := flag.Int("k", 3, "replication factor")
+	approach := flag.String("approach", "coll", "no | local | coll")
+	name := flag.String("name", "ckpt", "dataset name")
+	chunkSize := flag.Int("chunk", 4096, "chunk size in bytes")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: replicad -rank R -hosts FILE [flags] dump|restore [verb flags]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *rank < 0 || *hosts == "" || flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	addrs, err := readHosts(*hosts)
+	if err != nil {
+		return err
+	}
+	if *rank >= len(addrs) {
+		return fmt.Errorf("rank %d out of range for %d hosts", *rank, len(addrs))
+	}
+
+	var store storage.Store
+	if *storeDir != "" {
+		store, err = storage.NewDisk(*storeDir)
+		if err != nil {
+			return err
+		}
+	} else {
+		store = storage.NewMem()
+	}
+
+	comm, err := collectives.DialTCP(*rank, addrs)
+	if err != nil {
+		return err
+	}
+	defer comm.Close()
+
+	var ap core.Approach
+	switch *approach {
+	case "no":
+		ap = core.NoDedup
+	case "local":
+		ap = core.LocalDedup
+	case "coll":
+		ap = core.CollDedup
+	default:
+		return fmt.Errorf("unknown approach %q", *approach)
+	}
+	opts := core.Options{K: *k, Approach: ap, ChunkSize: *chunkSize, Name: *name}
+
+	verb := flag.Arg(0)
+	verbArgs := flag.Args()[1:]
+	switch verb {
+	case "dump":
+		return doDump(comm, store, opts, verbArgs)
+	case "restore":
+		return doRestore(comm, store, *name, verbArgs)
+	default:
+		return fmt.Errorf("unknown verb %q (want dump or restore)", verb)
+	}
+}
+
+func doDump(comm collectives.Comm, store storage.Store, opts core.Options, args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	workload := fs.String("workload", "", "generate a workload checkpoint: hpccg | cm1")
+	in := fs.String("in", "", "dump this file instead of a generated workload")
+	steps := fs.Int("steps", 8, "solver steps before the checkpoint")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var buf []byte
+	switch {
+	case *in != "":
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			return err
+		}
+		buf = data
+	case *workload == "hpccg":
+		app := hpccg.New(comm.Rank(), comm.Size(), hpccg.Config{})
+		for i := 0; i < *steps; i++ {
+			app.Step()
+		}
+		buf = app.CheckpointImage()
+	case *workload == "cm1":
+		app := cm1.New(comm.Rank(), comm.Size(), cm1.Config{})
+		for i := 0; i < *steps; i++ {
+			app.Step()
+		}
+		buf = app.CheckpointImage()
+	default:
+		return fmt.Errorf("dump needs -workload hpccg|cm1 or -in FILE")
+	}
+
+	res, err := core.DumpOutput(comm, store, buf, opts)
+	if err != nil {
+		return err
+	}
+	m := res.Metrics
+	fmt.Printf("rank %d: dumped %d bytes (%d chunks, %d locally unique); stored %d, sent %d, received %d\n",
+		comm.Rank(), m.DatasetBytes, m.TotalChunks, m.LocalUniqueChunks,
+		m.StoredBytes, m.SentBytes, m.RecvBytes)
+	return nil
+}
+
+func doRestore(comm collectives.Comm, store storage.Store, name string, args []string) error {
+	fs := flag.NewFlagSet("restore", flag.ExitOnError)
+	out := fs.String("out", "", "write the restored dataset to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	buf, err := core.Restore(comm, store, name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rank %d: restored %d bytes of %q\n", comm.Rank(), len(buf), name)
+	if *out != "" {
+		return os.WriteFile(*out, buf, 0o644)
+	}
+	return nil
+}
+
+func readHosts(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var addrs []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		addrs = append(addrs, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("host file %s is empty", path)
+	}
+	return addrs, nil
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestEndToEndMultiProcess builds the replicad binary and runs a real
+// multi-process collective dump + restore over TCP sockets with
+// disk-backed stores — the full deployment shape, one OS process per
+// rank. One store is wiped between dump and restore to force remote
+// recovery.
+func TestEndToEndMultiProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e test")
+	}
+	const n = 4
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "replicad")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	// Reserve loopback ports, then free them for the daemons.
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	hosts := filepath.Join(dir, "hosts.txt")
+	if err := os.WriteFile(hosts, []byte(strings.Join(addrs, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	runAll := func(verb string, extra ...string) []string {
+		t.Helper()
+		outputs := make([]string, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				args := []string{
+					"-rank", fmt.Sprint(rank),
+					"-hosts", hosts,
+					"-store", filepath.Join(dir, fmt.Sprintf("node%d", rank)),
+					"-k", "3",
+					"-approach", "coll",
+					"-chunk", "256",
+					verb,
+				}
+				args = append(args, extra...)
+				cmd := exec.Command(bin, args...)
+				out, err := cmd.CombinedOutput()
+				outputs[rank] = string(out)
+				errs[rank] = err
+			}(r)
+		}
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("rank %d %s: %v\n%s", r, verb, err, outputs[r])
+			}
+		}
+		return outputs
+	}
+
+	// Phase 1: collective dump of an HPCCG checkpoint (small grid).
+	outs := runAll("dump", "-workload", "hpccg", "-steps", "2")
+	for r, out := range outs {
+		if !strings.Contains(out, "dumped") {
+			t.Errorf("rank %d dump output: %q", r, out)
+		}
+	}
+
+	// Phase 2: restore with intact stores.
+	outs = runAll("restore")
+	for r, out := range outs {
+		if !strings.Contains(out, "restored") {
+			t.Errorf("rank %d restore output: %q", r, out)
+		}
+	}
+
+	// Phase 3: wipe node 2's store entirely (node replacement) and
+	// restore again — chunks must come over the sockets.
+	if err := os.RemoveAll(filepath.Join(dir, "node2")); err != nil {
+		t.Fatal(err)
+	}
+	outs = runAll("restore")
+	for r, out := range outs {
+		if !strings.Contains(out, "restored") {
+			t.Errorf("rank %d post-failure restore output: %q", r, out)
+		}
+	}
+}
+
+func TestReadHosts(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hosts")
+	content := "# comment\n127.0.0.1:9001\n\n127.0.0.1:9002\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	addrs, err := readHosts(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"127.0.0.1:9001", "127.0.0.1:9002"}
+	if len(addrs) != len(want) {
+		t.Fatalf("got %v", addrs)
+	}
+	for i := range want {
+		if addrs[i] != want[i] {
+			t.Fatalf("got %v, want %v", addrs, want)
+		}
+	}
+	if _, err := readHosts(filepath.Join(dir, "empty")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := os.WriteFile(path, []byte("# only comments\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readHosts(path); err == nil {
+		t.Fatal("empty host list accepted")
+	}
+}

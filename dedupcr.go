@@ -1,0 +1,132 @@
+// Package dedupcr is the public face of the library: dedup-aware
+// collective checkpoint replication, reproducing Nicolae, "Leveraging
+// Naturally Distributed Data Redundancy to Reduce Collective I/O
+// Replication Overhead" (IPDPS 2015).
+//
+// The implementation lives in internal packages (see DESIGN.md for the
+// map); this package re-exports the surface a downstream application
+// needs: the communicator runtime, node-local stores, the DUMP_OUTPUT /
+// Restore primitives, and the checkpoint-restart runtime.
+//
+//	cluster := dedupcr.NewCluster(8)
+//	dedupcr.Run(8, func(c dedupcr.Comm) error {
+//	    _, err := dedupcr.DumpOutput(c, cluster.Node(c.Rank()), buf, dedupcr.Options{
+//	        K: 3, Approach: dedupcr.CollDedup, Name: "ckpt-1",
+//	    })
+//	    return err
+//	})
+package dedupcr
+
+import (
+	"dedupcr/internal/collectives"
+	"dedupcr/internal/core"
+	"dedupcr/internal/ftrun"
+	"dedupcr/internal/storage"
+)
+
+// Communicator runtime: ranks, tagged messages, collectives, windows.
+type (
+	// Comm is one rank's communicator endpoint.
+	Comm = collectives.Comm
+	// Group is an in-process communicator group (ranks as goroutines).
+	Group = collectives.Group
+	// TCPComm is the socket-transport communicator.
+	TCPComm = collectives.TCPComm
+)
+
+// Run executes body once per rank on a fresh in-process group.
+func Run(n int, body func(Comm) error) error { return collectives.Run(n, body) }
+
+// NewGroup creates an in-process group of n ranks.
+func NewGroup(n int) (*Group, error) { return collectives.NewGroup(n) }
+
+// DialTCP joins a socket-transport group; rank i listens on addrs[i].
+func DialTCP(rank int, addrs []string) (*TCPComm, error) {
+	return collectives.DialTCP(rank, addrs)
+}
+
+// StartLocalTCP creates a loopback socket group for tests and demos.
+func StartLocalTCP(n int) ([]*TCPComm, error) { return collectives.StartLocalTCP(n) }
+
+// Node-local storage.
+type (
+	// Store is a node-local chunk store.
+	Store = storage.Store
+	// Cluster is a set of per-rank stores with failure injection.
+	Cluster = storage.Cluster
+)
+
+// NewMemStore returns an in-memory node-local store.
+func NewMemStore() Store { return storage.NewMem() }
+
+// NewDiskStore opens a disk-backed node-local store rooted at dir.
+func NewDiskStore(dir string) (Store, error) { return storage.NewDisk(dir) }
+
+// NewCluster creates n in-memory node stores.
+func NewCluster(n int) *Cluster { return storage.NewCluster(n) }
+
+// The collective write primitive and its configuration.
+type (
+	// Options configures a collective dump.
+	Options = core.Options
+	// Approach selects the replication strategy.
+	Approach = core.Approach
+	// Result is the outcome of one collective dump on one rank.
+	Result = core.Result
+	// Topology describes rack placement for rack-aware partner selection.
+	Topology = core.Topology
+)
+
+// The three strategies of the paper's evaluation.
+const (
+	// NoDedup is full replication of every chunk.
+	NoDedup = core.NoDedup
+	// LocalDedup deduplicates within each rank before replicating.
+	LocalDedup = core.LocalDedup
+	// CollDedup is the paper's contribution: collective deduplication
+	// with natural replicas.
+	CollDedup = core.CollDedup
+)
+
+// DefaultF is the paper's fingerprint-count threshold (2^17).
+const DefaultF = core.DefaultF
+
+// DumpOutput is the paper's collective write primitive; see
+// internal/core.DumpOutput for the full contract.
+func DumpOutput(c Comm, store Store, buf []byte, o Options) (*Result, error) {
+	return core.DumpOutput(c, store, buf, o)
+}
+
+// Restore collectively reassembles a dataset dumped under name,
+// tolerating up to K-1 node losses.
+func Restore(c Comm, store Store, name string) ([]byte, error) {
+	return core.Restore(c, store, name)
+}
+
+// Forget reclaims this node's storage for an old dataset (reference
+// counted; chunks shared with newer dumps survive).
+func Forget(store Store, name string, rank int) error {
+	return core.Forget(store, name, rank)
+}
+
+// Bool is a convenience for filling Options.Shuffle.
+func Bool(v bool) *bool { return core.Bool(v) }
+
+// NewUniformTopology spreads n ranks over racks in contiguous blocks.
+func NewUniformTopology(n, racks int) Topology { return core.NewUniformTopology(n, racks) }
+
+// Checkpoint-restart runtime (the AC-FTE role).
+type (
+	// Runtime drives checkpoint-restart for one rank.
+	Runtime = ftrun.Runtime
+	// Checkpointable is the application-level checkpoint interface.
+	Checkpointable = ftrun.Checkpointable
+)
+
+// ErrNoCheckpoint is returned by restarts when nothing survived.
+var ErrNoCheckpoint = ftrun.ErrNoCheckpoint
+
+// NewRuntime creates a checkpoint-restart runtime for this rank.
+func NewRuntime(c Comm, store Store, o Options) *Runtime {
+	return ftrun.New(c, store, o)
+}

@@ -1,0 +1,83 @@
+package dedupcr_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dedupcr"
+)
+
+// TestPublicAPIRoundTrip exercises the library exactly as a downstream
+// user would: through the root package only.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	const n, k = 6, 3
+	cluster := dedupcr.NewCluster(n)
+	err := dedupcr.Run(n, func(c dedupcr.Comm) error {
+		shared := bytes.Repeat([]byte("shared-config "), 512)
+		private := bytes.Repeat([]byte(fmt.Sprintf("rank%d ", c.Rank())), 1024)
+		buf := append(append([]byte{}, shared...), private...)
+
+		res, err := dedupcr.DumpOutput(c, cluster.Node(c.Rank()), buf, dedupcr.Options{
+			K: k, Approach: dedupcr.CollDedup, Name: "api",
+		})
+		if err != nil {
+			return err
+		}
+		if res.Metrics.DatasetBytes != int64(len(buf)) {
+			return fmt.Errorf("metrics wrong")
+		}
+		got, err := dedupcr.Restore(c, cluster.Node(c.Rank()), "api")
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, buf) {
+			return fmt.Errorf("rank %d restore mismatch", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forget via the facade.
+	for r := 0; r < n; r++ {
+		if err := dedupcr.Forget(cluster.Node(r), "api", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b, c := cluster.TotalUsage(); b != 0 || c != 0 {
+		t.Fatalf("storage not reclaimed: %d bytes / %d chunks", b, c)
+	}
+}
+
+// TestPublicAPIRuntime drives the checkpoint-restart runtime through the
+// facade.
+func TestPublicAPIRuntime(t *testing.T) {
+	const n = 4
+	cluster := dedupcr.NewCluster(n)
+	err := dedupcr.Run(n, func(c dedupcr.Comm) error {
+		rt := dedupcr.NewRuntime(c, cluster.Node(c.Rank()), dedupcr.Options{
+			K: 2, Approach: dedupcr.CollDedup, ChunkSize: 256,
+		})
+		state := rt.Register("state", 1024)
+		for i := range state {
+			state[i] = byte(i + c.Rank())
+		}
+		if _, err := rt.Checkpoint(); err != nil {
+			return err
+		}
+		for i := range state {
+			state[i] = 0
+		}
+		if _, err := rt.Restart(); err != nil {
+			return err
+		}
+		if state[5] != byte(5+c.Rank()) {
+			return fmt.Errorf("rank %d state not restored", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

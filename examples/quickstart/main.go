@@ -1,0 +1,68 @@
+// Quickstart: the smallest complete use of the library. Eight simulated
+// ranks each dump a buffer with DUMP_OUTPUT using collective
+// deduplication and a replication factor of 3, then restore it and
+// verify the bytes. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"dedupcr/internal/collectives"
+	"dedupcr/internal/core"
+	"dedupcr/internal/metrics"
+	"dedupcr/internal/storage"
+)
+
+func main() {
+	const (
+		nRanks = 8
+		k      = 3 // one local copy + two partner replicas
+	)
+	cluster := storage.NewCluster(nRanks)
+
+	err := collectives.Run(nRanks, func(c collectives.Comm) error {
+		// Build a dataset with natural redundancy: a header every rank
+		// shares, plus a rank-private body.
+		shared := bytes.Repeat([]byte("common-configuration-block. "), 1024)
+		private := bytes.Repeat([]byte(fmt.Sprintf("rank-%d-data. ", c.Rank())), 2048)
+		buf := append(append([]byte{}, shared...), private...)
+
+		res, err := core.DumpOutput(c, cluster.Node(c.Rank()), buf, core.Options{
+			K:        k,
+			Approach: core.CollDedup,
+			Name:     "quickstart",
+		})
+		if err != nil {
+			return err
+		}
+		m := res.Metrics
+		if c.Rank() == 0 {
+			fmt.Printf("rank 0: dumped %s in %d chunks (%d locally unique)\n",
+				metrics.Bytes(m.DatasetBytes), m.TotalChunks, m.LocalUniqueChunks)
+			fmt.Printf("rank 0: stored %s locally, sent %s to partners, received %s\n",
+				metrics.Bytes(m.StoredBytes), metrics.Bytes(m.SentBytes), metrics.Bytes(m.RecvBytes))
+		}
+
+		// Restore and verify.
+		got, err := core.Restore(c, cluster.Node(c.Rank()), "quickstart")
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, buf) {
+			return fmt.Errorf("rank %d: restore mismatch", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	total, chunks := cluster.TotalUsage()
+	fmt.Printf("cluster: %s in %d unique chunks across %d nodes (K=%d protection)\n",
+		metrics.Bytes(total), chunks, nRanks, k)
+	fmt.Println("quickstart OK: all ranks restored their data byte-exactly")
+}

@@ -1,0 +1,3 @@
+module dedupcr
+
+go 1.22

@@ -1,0 +1,39 @@
+package cm1
+
+import "testing"
+
+// BenchmarkStep measures one storm time step at the experiment scale
+// (central rank: full core update).
+func BenchmarkStep(b *testing.B) {
+	m := New(0, 1, Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}
+
+// BenchmarkCheckpointImage measures state serialization.
+func BenchmarkCheckpointImage(b *testing.B) {
+	m := New(0, 1, Config{})
+	m.Step()
+	img := m.CheckpointImage()
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.CheckpointImage()
+	}
+}
+
+// BenchmarkRestoreImage measures state deserialization.
+func BenchmarkRestoreImage(b *testing.B) {
+	m := New(0, 1, Config{})
+	m.Step()
+	img := m.CheckpointImage()
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.RestoreImage(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+// Package cm1 reproduces the paper's second workload: an idealized
+// CM1-style atmospheric simulation — a time-stepped, non-hydrostatic
+// stencil model of a 3-D hurricane (Bryan & Rotunno configuration),
+// weak-scaled with one fixed sub-domain per rank.
+//
+// The model is real: every Step advances prognostic fields (wind
+// components, potential temperature, moisture) with an
+// advection-diffusion stencil inside the hurricane core and a sponge
+// layer outside, as idealized storm studies do. Its checkpoint image
+// reproduces the redundancy structure the paper measured:
+//
+//   - the base-state reference atmosphere is a function of grid position
+//     only, so under weak scaling it is byte-identical across ranks but
+//     distinct from page to page → the cross-rank shared component;
+//   - the calm areas of the prognostic fields hold uniform values, so
+//     their pages collapse to a few motifs → the locally-duplicated
+//     component (this is the paper's "~500 MB constantly changed" data:
+//     it changes, yet stays highly redundant);
+//   - the hurricane core evolves rank-specific values → the private
+//     component;
+//   - boundary-relaxation buffers are shared pairwise with the east/west
+//     neighbour sub-domains → duplicates with frequency 2, the hardest
+//     case for top-F selection.
+//
+// Scale: the paper's 200×200 columns (~800 MB/rank) shrink to the default
+// 192×192 cells (~1.2 MB/rank); netsim's Scale maps bytes back.
+package cm1
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dedupcr/internal/collectives"
+)
+
+// Config sizes the per-rank sub-domain.
+type Config struct {
+	// NX, NY are the local grid dimensions. Zero selects 192.
+	NX, NY int
+	// CoreFrac is the hurricane-core box size as a fraction of NX.
+	// Zero selects 0.25.
+	CoreFrac float64
+	// HaloPages is the page count of each neighbour-shared boundary
+	// relaxation buffer. Zero selects 4.
+	HaloPages int
+}
+
+func (c Config) withDefaults() Config {
+	if c.NX <= 0 {
+		c.NX = 192
+	}
+	if c.NY <= 0 {
+		c.NY = 192
+	}
+	if c.CoreFrac <= 0 {
+		c.CoreFrac = 0.25
+	}
+	if c.HaloPages <= 0 {
+		c.HaloPages = 4
+	}
+	return c
+}
+
+const pageSize = 4096
+
+// Model is one rank's simulation state.
+type Model struct {
+	cfg    Config
+	rank   int
+	nprocs int
+
+	// Prognostic fields (float32, NX×NY each): zonal and meridional
+	// wind, vertical velocity, potential temperature, pressure
+	// perturbation, moisture.
+	u, v, w, theta, prs, qv []float32
+	// base is the reference atmosphere (float64, NX×NY): identical on
+	// every rank under weak scaling.
+	base []float64
+	// haloW and haloE are boundary-relaxation buffers shared with the
+	// west and east neighbour: both sides of a pair hold identical
+	// bytes.
+	haloW, haloE []byte
+
+	// Core box bounds (the storm region the stencil updates).
+	cx0, cx1, cy0, cy1 int
+
+	step int
+}
+
+// New builds the rank's sub-domain in the initial hurricane state.
+func New(rank, nprocs int, cfg Config) *Model {
+	cfg = cfg.withDefaults()
+	nx, ny := cfg.NX, cfg.NY
+	cells := nx * ny
+	m := &Model{
+		cfg:    cfg,
+		rank:   rank,
+		nprocs: nprocs,
+		u:      make([]float32, cells),
+		v:      make([]float32, cells),
+		w:      make([]float32, cells),
+		theta:  make([]float32, cells),
+		prs:    make([]float32, cells),
+		qv:     make([]float32, cells),
+		base:   make([]float64, cells),
+		haloW:  pairBuffer(pairID(rank-1, rank, nprocs), cfg.HaloPages),
+		haloE:  pairBuffer(pairID(rank, rank+1, nprocs), cfg.HaloPages),
+	}
+	// Reference atmosphere: a smooth function of the local coordinates
+	// only — identical across ranks, different on every page.
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			m.base[j*nx+i] = 1000.0*math.Exp(-float64(j)/80.0) +
+				0.37*math.Sin(float64(i)*0.11)*math.Cos(float64(j)*0.07)
+		}
+	}
+	// Calm environment: uniform fields (the redundant bulk).
+	for i := range m.u {
+		m.u[i] = 2.5
+		m.v[i] = -1.0
+		m.theta[i] = 300.0
+		m.prs[i] = 1000.0
+		m.qv[i] = 0.014
+	}
+	// Hurricane core: the storm sits at the centre of the global domain,
+	// so its footprint in a rank's sub-domain decays with the rank's
+	// distance from the central ranks — distant sub-domains are calm.
+	// This is also what makes CM1's load distribution far more skewed
+	// than HPCCG's (Figures 4(b) vs 5(b)).
+	dist := math.Abs(float64(rank) - float64(nprocs-1)/2)
+	sigma := float64(nprocs) / 8
+	if sigma < 1 {
+		sigma = 1
+	}
+	intensity := math.Exp(-dist * dist / (2 * sigma * sigma))
+	core := int(float64(nx) * cfg.CoreFrac * intensity)
+	if core < 4 {
+		core = 0 // calm sub-domain, outside the storm
+	}
+	m.cx0 = (nx - core) / 2
+	m.cx1 = m.cx0 + core
+	m.cy0 = (ny - core) / 2
+	m.cy1 = m.cy0 + core
+	ccx, ccy := float64(nx)/2, float64(ny)/2
+	for j := m.cy0; j < m.cy1; j++ {
+		for i := m.cx0; i < m.cx1; i++ {
+			dx, dy := float64(i)-ccx, float64(j)-ccy
+			r2 := dx*dx + dy*dy
+			amp := float32(18 * math.Exp(-r2/400))
+			phase := float64(rank) * 0.61
+			idx := j*nx + i
+			m.u[idx] += amp * float32(math.Cos(math.Atan2(dy, dx)+math.Pi/2+phase))
+			m.v[idx] += amp * float32(math.Sin(math.Atan2(dy, dx)+math.Pi/2+phase))
+			m.w[idx] = amp / 10
+			m.theta[idx] += amp / 3
+			m.prs[idx] -= amp
+			m.qv[idx] += amp / 1000
+		}
+	}
+	return m
+}
+
+// pairID names the neighbour pair (a,b); the domain is periodic in x.
+func pairID(a, b, n int) int {
+	return ((a % n) + n) % n
+}
+
+// pairBuffer generates the boundary-relaxation coefficients of a
+// neighbour pair: both members compute identical bytes from the pair id.
+func pairBuffer(pair, pages int) []byte {
+	buf := make([]byte, pages*pageSize)
+	x := uint64(pair)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+	for i := 0; i < len(buf); i += 8 {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		binary.LittleEndian.PutUint64(buf[i:], x*0x2545F4914F6CDD1D)
+	}
+	return buf
+}
+
+// Step advances the storm one time step: advection-diffusion of the
+// prognostic fields inside the core box (the sponge layer outside holds
+// the environment fixed, as idealized simulations do).
+func (m *Model) Step() float64 {
+	nx := m.cfg.NX
+	next := make([]float32, len(m.theta))
+	copy(next, m.theta)
+	var maxW float64
+	const dt, kappa = 0.2, 0.12
+	for j := m.cy0 + 1; j < m.cy1-1; j++ {
+		for i := m.cx0 + 1; i < m.cx1-1; i++ {
+			idx := j*nx + i
+			// Upwind advection by (u,v) plus diffusion.
+			ddx := (m.theta[idx] - m.theta[idx-1]) * m.u[idx]
+			ddy := (m.theta[idx] - m.theta[idx-nx]) * m.v[idx]
+			lap := m.theta[idx-1] + m.theta[idx+1] + m.theta[idx-nx] + m.theta[idx+nx] - 4*m.theta[idx]
+			next[idx] = m.theta[idx] + float32(dt)*(-ddx-ddy) + float32(kappa)*lap
+			// Buoyancy feeds vertical motion.
+			m.w[idx] += float32(dt) * (next[idx] - 300.0) / 300.0
+			if wv := math.Abs(float64(m.w[idx])); wv > maxW {
+				maxW = wv
+			}
+		}
+	}
+	m.theta = next
+	// Pressure and moisture respond to the updated core.
+	for j := m.cy0; j < m.cy1; j++ {
+		for i := m.cx0; i < m.cx1; i++ {
+			idx := j*nx + i
+			m.prs[idx] = 1000.0 - (m.theta[idx]-300.0)*2.5
+			m.qv[idx] = 0.014 + m.w[idx]/5000
+		}
+	}
+	m.step++
+	return maxW
+}
+
+// StepCollective advances one step and reduces the maximum vertical
+// velocity across ranks (the stability diagnostic CM1 computes globally).
+func (m *Model) StepCollective(c collectives.Comm) (float64, error) {
+	local := m.Step()
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint64(buf, math.Float64bits(local))
+	out, err := collectives.Allreduce(c, buf, maxFloat64)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(out)), nil
+}
+
+func maxFloat64(acc, other []byte) ([]byte, error) {
+	a := math.Float64frombits(binary.BigEndian.Uint64(acc))
+	b := math.Float64frombits(binary.BigEndian.Uint64(other))
+	if b > a {
+		a = b
+	}
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, math.Float64bits(a))
+	return out, nil
+}
+
+// Step number accessor.
+func (m *Model) StepCount() int { return m.step }
+
+// CheckpointImage serializes the model's dynamic memory: prognostic
+// fields, base state and boundary buffers, in a fixed layout.
+func (m *Model) CheckpointImage() []byte {
+	cells := len(m.u)
+	size := 4*6*cells + 8*cells + len(m.haloW) + len(m.haloE)
+	buf := make([]byte, 0, size)
+	for _, f := range [][]float32{m.u, m.v, m.w, m.theta, m.prs, m.qv} {
+		for _, v := range f {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+		}
+	}
+	for _, v := range m.base {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	buf = append(buf, m.haloW...)
+	buf = append(buf, m.haloE...)
+	return buf
+}
+
+// RestoreImage loads a checkpoint image produced by CheckpointImage.
+func (m *Model) RestoreImage(buf []byte) error {
+	cells := len(m.u)
+	want := 4*6*cells + 8*cells + len(m.haloW) + len(m.haloE)
+	if len(buf) != want {
+		return fmt.Errorf("cm1: checkpoint image is %d bytes, want %d", len(buf), want)
+	}
+	for _, f := range [][]float32{m.u, m.v, m.w, m.theta, m.prs, m.qv} {
+		for i := range f {
+			f[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf))
+			buf = buf[4:]
+		}
+	}
+	for i := range m.base {
+		m.base[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		buf = buf[8:]
+	}
+	copy(m.haloW, buf)
+	buf = buf[len(m.haloW):]
+	copy(m.haloE, buf)
+	return nil
+}

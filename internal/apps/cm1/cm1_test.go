@@ -1,0 +1,171 @@
+package cm1
+
+import (
+	"bytes"
+	"testing"
+
+	"dedupcr/internal/chunk"
+	"dedupcr/internal/collectives"
+	"dedupcr/internal/fingerprint"
+	"dedupcr/internal/metrics"
+)
+
+func testCfg() Config { return Config{NX: 96, NY: 96, HaloPages: 2} }
+
+func TestStormEvolves(t *testing.T) {
+	m := New(0, 1, testCfg())
+	before := m.CheckpointImage()
+	w := 0.0
+	for i := 0; i < 5; i++ {
+		w = m.Step()
+	}
+	if w <= 0 {
+		t.Fatal("no vertical motion developed in the storm core")
+	}
+	if bytes.Equal(before, m.CheckpointImage()) {
+		t.Fatal("stepping did not change the model state")
+	}
+	if m.StepCount() != 5 {
+		t.Fatalf("step count = %d, want 5", m.StepCount())
+	}
+}
+
+func TestCalmRanksStayCalm(t *testing.T) {
+	// A rank far from the storm centre has no core; stepping must leave
+	// its state bit-identical (the uniform environment is steady).
+	m := New(0, 64, testCfg()) // rank 0 of 64 is far from centre (31.5)
+	before := m.CheckpointImage()
+	for i := 0; i < 10; i++ {
+		m.Step()
+	}
+	if !bytes.Equal(before, m.CheckpointImage()) {
+		t.Fatal("calm sub-domain changed state")
+	}
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	m := New(8, 16, testCfg())
+	for i := 0; i < 4; i++ {
+		m.Step()
+	}
+	img := m.CheckpointImage()
+	for i := 0; i < 4; i++ {
+		m.Step()
+	}
+	if err := m.RestoreImage(img); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.CheckpointImage(), img) {
+		t.Fatal("restore did not reproduce the checkpointed state")
+	}
+}
+
+func TestRestoreRejectsWrongSize(t *testing.T) {
+	m := New(0, 1, testCfg())
+	if err := m.RestoreImage(make([]byte, 3)); err == nil {
+		t.Fatal("accepted wrong-size image")
+	}
+}
+
+func TestHaloSharedWithNeighbour(t *testing.T) {
+	n := 8
+	models := make([]*Model, n)
+	for r := range models {
+		models[r] = New(r, n, testCfg())
+	}
+	for r := 0; r < n; r++ {
+		east := models[r].haloE
+		westOfNext := models[(r+1)%n].haloW
+		if !bytes.Equal(east, westOfNext) {
+			t.Fatalf("rank %d east halo differs from rank %d west halo", r, (r+1)%n)
+		}
+	}
+}
+
+func TestRedundancyMatchesPaper(t *testing.T) {
+	// Paper, Figure 3(a): CM1 local-dedup keeps ~30% of the raw data,
+	// coll-dedup ~5% at 408 ranks.
+	const nRanks, steps = 24, 6
+	chunker := chunk.NewFixed(256)
+	global := make(map[fingerprint.FP]bool)
+	var totalPages, localUnique int
+	for r := 0; r < nRanks; r++ {
+		m := New(r, nRanks, testCfg())
+		for i := 0; i < steps; i++ {
+			m.Step()
+		}
+		seen := make(map[fingerprint.FP]bool)
+		for _, ch := range chunker.Split(m.CheckpointImage()) {
+			totalPages++
+			if !seen[ch.FP] {
+				seen[ch.FP] = true
+				localUnique++
+			}
+			global[ch.FP] = true
+		}
+	}
+	local := float64(localUnique) / float64(totalPages)
+	glob := float64(len(global)) / float64(totalPages)
+	t.Logf("cm1 redundancy: local-unique=%.1f%% global-unique=%.1f%%", 100*local, 100*glob)
+	if local < 0.15 || local > 0.50 {
+		t.Errorf("local-unique fraction %.1f%% outside the paper's regime (~30%%)", 100*local)
+	}
+	if glob < 0.02 || glob > 0.15 {
+		t.Errorf("global-unique fraction %.1f%% outside the paper's regime (~5%%)", 100*glob)
+	}
+	if glob >= local/2 {
+		t.Errorf("collective dedup should at least halve local-dedup output: local=%.3f global=%.3f", local, glob)
+	}
+}
+
+func TestLoadSkewExceedsHPCCGStyleUniformity(t *testing.T) {
+	// The storm concentrates private data on central ranks: per-rank
+	// unique page counts must be visibly skewed (max >> avg), the cause
+	// of CM1's larger send-size imbalance in Figure 5(b).
+	const nRanks = 16
+	chunker := chunk.NewFixed(256)
+	uniquePages := make([]int64, nRanks)
+	seenGlobally := make(map[fingerprint.FP]int)
+	perRank := make([]map[fingerprint.FP]bool, nRanks)
+	for r := 0; r < nRanks; r++ {
+		m := New(r, nRanks, testCfg())
+		for i := 0; i < 4; i++ {
+			m.Step()
+		}
+		perRank[r] = make(map[fingerprint.FP]bool)
+		for _, ch := range chunker.Split(m.CheckpointImage()) {
+			if !perRank[r][ch.FP] {
+				perRank[r][ch.FP] = true
+				seenGlobally[ch.FP]++
+			}
+		}
+	}
+	for r := 0; r < nRanks; r++ {
+		for fp := range perRank[r] {
+			if seenGlobally[fp] == 1 { // private to this rank
+				uniquePages[r]++
+			}
+		}
+	}
+	maxU := metrics.Max(uniquePages)
+	avgU := metrics.Avg(uniquePages)
+	t.Logf("cm1 private pages per rank: max=%d avg=%.1f", maxU, avgU)
+	if avgU <= 0 || float64(maxU) < 2*avgU {
+		t.Errorf("expected skewed private-data distribution, got max=%d avg=%.1f", maxU, avgU)
+	}
+}
+
+func TestStepCollective(t *testing.T) {
+	err := collectives.Run(4, func(c collectives.Comm) error {
+		m := New(c.Rank(), c.Size(), Config{NX: 48, NY: 48, HaloPages: 1})
+		for i := 0; i < 2; i++ {
+			if _, err := m.StepCollective(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

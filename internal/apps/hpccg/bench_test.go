@@ -1,0 +1,39 @@
+package hpccg
+
+import "testing"
+
+// BenchmarkStep measures one CG iteration at the experiment scale.
+func BenchmarkStep(b *testing.B) {
+	s := New(0, 1, Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// BenchmarkCheckpointImage measures state serialization, the per-dump
+// capture cost of the transparent checkpointing path.
+func BenchmarkCheckpointImage(b *testing.B) {
+	s := New(0, 1, Config{})
+	s.Step()
+	img := s.CheckpointImage()
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.CheckpointImage()
+	}
+}
+
+// BenchmarkRestoreImage measures state deserialization on restart.
+func BenchmarkRestoreImage(b *testing.B) {
+	s := New(0, 1, Config{})
+	s.Step()
+	img := s.CheckpointImage()
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.RestoreImage(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

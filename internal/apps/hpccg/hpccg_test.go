@@ -1,0 +1,143 @@
+package hpccg
+
+import (
+	"bytes"
+	"testing"
+
+	"dedupcr/internal/chunk"
+	"dedupcr/internal/collectives"
+	"dedupcr/internal/fingerprint"
+)
+
+func TestSolverConverges(t *testing.T) {
+	s := New(0, 1, Config{NX: 8, NY: 8, NZ: 8})
+	first := s.Residual()
+	var last float64
+	for i := 0; i < 25; i++ {
+		last = s.Step()
+	}
+	if last >= first {
+		t.Fatalf("CG residual did not decrease: %g -> %g", first, last)
+	}
+	if s.Iterations() != 25 {
+		t.Fatalf("iterations = %d, want 25", s.Iterations())
+	}
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	s := New(3, 8, Config{NX: 8, NY: 8, NZ: 8})
+	for i := 0; i < 5; i++ {
+		s.Step()
+	}
+	img := s.CheckpointImage()
+	resAt5 := s.Residual()
+
+	// Run further, then roll back.
+	for i := 0; i < 5; i++ {
+		s.Step()
+	}
+	if err := s.RestoreImage(img); err != nil {
+		t.Fatal(err)
+	}
+	if s.Residual() != resAt5 {
+		t.Fatalf("restored residual %g != checkpointed %g", s.Residual(), resAt5)
+	}
+	// Recomputed trajectory must match.
+	if !bytes.Equal(s.CheckpointImage(), img) {
+		t.Fatal("restored image differs from checkpointed image")
+	}
+}
+
+func TestRestoreRejectsWrongSize(t *testing.T) {
+	s := New(0, 1, Config{NX: 4, NY: 4, NZ: 4})
+	if err := s.RestoreImage(make([]byte, 10)); err == nil {
+		t.Fatal("accepted wrong-size image")
+	}
+}
+
+func TestImageDeterministicPerRank(t *testing.T) {
+	a := New(2, 8, Config{NX: 8, NY: 8, NZ: 8})
+	b := New(2, 8, Config{NX: 8, NY: 8, NZ: 8})
+	a.Step()
+	b.Step()
+	if !bytes.Equal(a.CheckpointImage(), b.CheckpointImage()) {
+		t.Fatal("same rank, same steps: images differ")
+	}
+}
+
+func TestImagesDifferAcrossRanks(t *testing.T) {
+	a := New(0, 8, Config{NX: 8, NY: 8, NZ: 8})
+	b := New(1, 8, Config{NX: 8, NY: 8, NZ: 8})
+	if bytes.Equal(a.CheckpointImage(), b.CheckpointImage()) {
+		t.Fatal("different ranks produced identical images (no private data)")
+	}
+}
+
+// measureRedundancy computes the local-unique and global-unique page
+// fractions of a weak-scaled ensemble, i.e. the Figure 3(a) quantities.
+func measureRedundancy(t *testing.T, nRanks, steps int, cfg Config) (localFrac, globalFrac float64) {
+	t.Helper()
+	// 256-byte chunks: the scaled-down page size. The paper pairs 150³
+	// sub-blocks with 4 KiB pages (interior stencil runs of ~32 KiB, 8
+	// pages per run); the 16³ mini-app pairs with 256 B chunks to keep
+	// the same run-to-page ratio, which is what dedup behaviour depends
+	// on. The experiment harness uses the same scaled chunk size.
+	chunker := chunk.NewFixed(256)
+	global := make(map[fingerprint.FP]bool)
+	var totalPages, localUnique int
+	for r := 0; r < nRanks; r++ {
+		s := New(r, nRanks, cfg)
+		for i := 0; i < steps; i++ {
+			s.Step()
+		}
+		seen := make(map[fingerprint.FP]bool)
+		for _, ch := range chunker.Split(s.CheckpointImage()) {
+			totalPages++
+			if !seen[ch.FP] {
+				seen[ch.FP] = true
+				localUnique++
+			}
+			global[ch.FP] = true
+		}
+	}
+	return float64(localUnique) / float64(totalPages), float64(len(global)) / float64(totalPages)
+}
+
+func TestRedundancyMatchesPaper(t *testing.T) {
+	// Paper, Figure 3(a): HPCCG local-dedup keeps ~33% of the raw data,
+	// coll-dedup ~6% at 408 ranks. The mini-app must land in the same
+	// regime (generous bands: the shape, not the digit, is the claim).
+	local, global := measureRedundancy(t, 24, 10, Config{NX: 16, NY: 16, NZ: 16})
+	t.Logf("hpccg redundancy: local-unique=%.1f%% global-unique=%.1f%%", 100*local, 100*global)
+	if local < 0.20 || local > 0.50 {
+		t.Errorf("local-unique fraction %.1f%% outside the paper's regime (~33%%)", 100*local)
+	}
+	if global < 0.03 || global > 0.15 {
+		t.Errorf("global-unique fraction %.1f%% outside the paper's regime (~6%%)", 100*global)
+	}
+	if global >= local/2 {
+		t.Errorf("collective dedup should at least halve local-dedup output: local=%.3f global=%.3f", local, global)
+	}
+}
+
+func TestStepCollective(t *testing.T) {
+	err := collectives.Run(4, func(c collectives.Comm) error {
+		s := New(c.Rank(), c.Size(), Config{NX: 6, NY: 6, NZ: 6})
+		prev := -1.0
+		for i := 0; i < 3; i++ {
+			res, err := s.StepCollective(c)
+			if err != nil {
+				return err
+			}
+			if res < 0 {
+				return nil
+			}
+			prev = res
+		}
+		_ = prev
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package chunk
+
+import "dedupcr/internal/fingerprint"
+
+// ContentDefined is a content-defined chunker using a rolling Rabin-style
+// fingerprint over a sliding window, the scheme of LBFS-like systems cited
+// as related work. Cut points are positions where the rolling hash matches
+// a mask, bounded by Min/Max chunk sizes.
+//
+// The paper's system uses fixed-size chunks (memory pages); this chunker
+// exists for the chunking ablation and for deduplicating arbitrary file
+// data in cmd/dedupstat.
+type ContentDefined struct {
+	// Min and Max bound the chunk size; Avg sets the expected size.
+	Min, Avg, Max int
+
+	mask uint64
+	tbl  [256]uint64
+}
+
+const cdcWindow = 48
+
+// NewContentDefined builds a content-defined chunker with an expected
+// chunk size of avg bytes (rounded to a power of two), min = avg/4 and
+// max = avg*4. avg <= 0 selects DefaultSize.
+func NewContentDefined(avg int) *ContentDefined {
+	if avg <= 0 {
+		avg = DefaultSize
+	}
+	bits := 1
+	for 1<<bits < avg {
+		bits++
+	}
+	c := &ContentDefined{
+		Min:  avg / 4,
+		Avg:  1 << bits,
+		Max:  avg * 4,
+		mask: 1<<bits - 1,
+	}
+	if c.Min < cdcWindow {
+		c.Min = cdcWindow
+	}
+	// Deterministic pseudo-random byte table (xorshift64*), so all ranks
+	// cut at identical boundaries without sharing any state.
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := range c.tbl {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		c.tbl[i] = x * 0x2545F4914F6CDD1D
+	}
+	return c
+}
+
+// Split implements Chunker.
+func (c *ContentDefined) Split(buf []byte) []Chunk {
+	var out []Chunk
+	for len(buf) > 0 {
+		cut := c.cutPoint(buf)
+		data := buf[:cut]
+		out = append(out, Chunk{FP: fingerprint.Of(data), Data: data})
+		buf = buf[cut:]
+	}
+	return out
+}
+
+// cutPoint returns the length of the next chunk of buf.
+func (c *ContentDefined) cutPoint(buf []byte) int {
+	if len(buf) <= c.Min {
+		return len(buf)
+	}
+	limit := len(buf)
+	if limit > c.Max {
+		limit = c.Max
+	}
+	var h uint64
+	// Prime the window ending at position Min.
+	start := c.Min - cdcWindow
+	for i := start; i < c.Min; i++ {
+		h = h<<1 ^ c.tbl[buf[i]]
+	}
+	for i := c.Min; i < limit; i++ {
+		h = h<<1 ^ c.tbl[buf[i]]
+		// Remove the byte leaving the window: its table value was shifted
+		// left cdcWindow times since insertion; shifts past 63 vanish, so
+		// for windows <= 64 we subtract explicitly.
+		h ^= c.tbl[buf[i-cdcWindow]] << cdcWindow
+		if h&c.mask == c.mask {
+			return i + 1
+		}
+	}
+	return limit
+}

@@ -1,0 +1,157 @@
+package collectives
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// benchGroup runs one benchmark body across n in-process ranks per
+// iteration.
+func benchGroup(b *testing.B, n int, body func(Comm) error) {
+	b.Helper()
+	g, err := NewGroup(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	comms := make([]Comm, n)
+	for r := range comms {
+		if comms[r], err = g.Comm(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make([]error, n)
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				errs[rank] = body(comms[rank])
+			}(r)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkBarrier measures the dissemination barrier.
+func BenchmarkBarrier(b *testing.B) {
+	for _, n := range []int{8, 64, 408} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchGroup(b, n, func(c Comm) error { return Barrier(c) })
+		})
+	}
+}
+
+// BenchmarkBcast measures the binomial broadcast of a 64 KiB payload.
+func BenchmarkBcast(b *testing.B) {
+	payload := make([]byte, 64<<10)
+	for _, n := range []int{8, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchGroup(b, n, func(c Comm) error {
+				var in []byte
+				if c.Rank() == 0 {
+					in = payload
+				}
+				_, err := Bcast(c, 0, in)
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkAllgather measures the ring allgather of small load vectors,
+// the pattern of the paper's SendLoad exchange.
+func BenchmarkAllgather(b *testing.B) {
+	for _, n := range []int{8, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchGroup(b, n, func(c Comm) error {
+				_, err := AllgatherInt64(c, []int64{1, 2, 3})
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkAllreduce measures the binomial reduction + broadcast with a
+// cheap merge, isolating the tree traffic of the fingerprint reduction.
+func BenchmarkAllreduce(b *testing.B) {
+	payload := make([]byte, 32<<10)
+	concat := func(acc, other []byte) ([]byte, error) { return acc, nil }
+	for _, n := range []int{8, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchGroup(b, n, func(c Comm) error {
+				_, err := Allreduce(c, payload, concat)
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkWindowExchange measures the one-sided put path: every rank
+// fills its successor's exactly-sized window.
+func BenchmarkWindowExchange(b *testing.B) {
+	const n, chunkSize, chunks = 8, 4096, 64
+	benchGroup(b, n, func(c Comm) error {
+		// Per-rank sequence numbers advance in lockstep across SPMD
+		// iterations, so they are a safe shared epoch.
+		win := OpenWindow(c, chunkSize*chunks, c.NextSeq())
+		target := (c.Rank() + 1) % n
+		buf := make([]byte, chunkSize)
+		for i := 0; i < chunks; i++ {
+			if err := win.Put(target, int64(i*chunkSize), buf); err != nil {
+				return err
+			}
+		}
+		_, err := win.Wait()
+		return err
+	})
+}
+
+// BenchmarkTCPRoundTrip measures a request/reply over the socket
+// transport.
+func BenchmarkTCPRoundTrip(b *testing.B) {
+	comms, err := StartLocalTCP(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		for _, c := range comms {
+			c.Close()
+		}
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			msg, err := comms[1].Recv(0, 1)
+			if err != nil {
+				return
+			}
+			if err := comms[1].Send(0, 2, msg); err != nil {
+				return
+			}
+		}
+	}()
+	payload := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := comms[0].Send(1, 1, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := comms[0].Recv(1, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	comms[1].Close()
+	<-done
+}

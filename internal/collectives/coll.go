@@ -1,0 +1,229 @@
+package collectives
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// collTag derives the tag for one collective call: the op id and the
+// per-communicator sequence number are folded into the reserved tag space.
+// All ranks call collectives in the same order, so sequence numbers line
+// up across the group.
+func collTag(op uint32, seq uint32) Tag {
+	return tagCollBase + Tag(op)<<20 + Tag(seq%(1<<20))
+}
+
+// Collective op ids.
+const (
+	opBarrier uint32 = iota + 1
+	opBcast
+	opGather
+	opAllgather
+	opReduce
+)
+
+// Barrier blocks until every rank of c has entered it. It uses a
+// dissemination barrier: ceil(log2 N) rounds of pairwise signals.
+func Barrier(c Comm) error {
+	tag := collTag(opBarrier, c.NextSeq())
+	n, me := c.Size(), c.Rank()
+	for dist := 1; dist < n; dist *= 2 {
+		to := (me + dist) % n
+		from := (me - dist + n) % n
+		if err := c.Send(to, tag, nil); err != nil {
+			return fmt.Errorf("barrier send: %w", err)
+		}
+		if _, err := c.Recv(from, tag); err != nil {
+			return fmt.Errorf("barrier recv: %w", err)
+		}
+	}
+	return nil
+}
+
+// Bcast distributes root's buffer to every rank and returns it. Ranks
+// other than root pass nil. A binomial tree gives ceil(log2 N) rounds.
+func Bcast(c Comm, root int, data []byte) ([]byte, error) {
+	if err := checkPeer(c, root); err != nil {
+		return nil, err
+	}
+	tag := collTag(opBcast, c.NextSeq())
+	n := c.Size()
+	// Work in a rotated space where root is rank 0.
+	vrank := (c.Rank() - root + n) % n
+
+	if vrank != 0 {
+		// Receive from parent: clear the lowest set bit of vrank.
+		parent := (clearLowestBit(vrank) + root) % n
+		var err error
+		data, err = c.Recv(parent, tag)
+		if err != nil {
+			return nil, fmt.Errorf("bcast recv: %w", err)
+		}
+	}
+	// Forward to children: vrank + 2^k for every k above our lowest set
+	// bit boundary.
+	for mask := highestDoubling(vrank); mask >= 1; mask /= 2 {
+		child := vrank + mask
+		if child < n {
+			if err := c.Send((child+root)%n, tag, data); err != nil {
+				return nil, fmt.Errorf("bcast send: %w", err)
+			}
+		}
+	}
+	return data, nil
+}
+
+// clearLowestBit clears the lowest set bit of v (v > 0).
+func clearLowestBit(v int) int { return v & (v - 1) }
+
+// highestDoubling returns the largest power of two that, added to vrank,
+// still addresses a child in the binomial tree rooted at 0: for vrank 0 it
+// is the highest power of two below the group size bound handled by the
+// caller; for others it is half the lowest set bit... 	Concretely: children
+// of vrank are vrank+2^k for all 2^k below vrank's lowest set bit (or any
+// k when vrank is 0, bounded by the caller's size check).
+func highestDoubling(vrank int) int {
+	if vrank == 0 {
+		return 1 << 30
+	}
+	return lowestBit(vrank) / 2
+}
+
+func lowestBit(v int) int { return v & -v }
+
+// Gather collects each rank's buffer at root. On root it returns a slice
+// indexed by rank; elsewhere it returns nil. Direct sends are used: the
+// collective-dump use cases gather small fixed-size vectors.
+func Gather(c Comm, root int, mine []byte) ([][]byte, error) {
+	if err := checkPeer(c, root); err != nil {
+		return nil, err
+	}
+	tag := collTag(opGather, c.NextSeq())
+	if c.Rank() != root {
+		if err := c.Send(root, tag, mine); err != nil {
+			return nil, fmt.Errorf("gather send: %w", err)
+		}
+		return nil, nil
+	}
+	out := make([][]byte, c.Size())
+	out[root] = append([]byte(nil), mine...)
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		data, err := c.Recv(r, tag)
+		if err != nil {
+			return nil, fmt.Errorf("gather recv from %d: %w", r, err)
+		}
+		out[r] = data
+	}
+	return out, nil
+}
+
+// Allgather distributes every rank's buffer to every rank; the result is
+// indexed by rank. A ring algorithm is used: N-1 steps, each forwarding
+// one block to the right neighbour, so every rank sends and receives
+// exactly N-1 blocks — the pattern the paper assumes for load gathering.
+func Allgather(c Comm, mine []byte) ([][]byte, error) {
+	tag := collTag(opAllgather, c.NextSeq())
+	n, me := c.Size(), c.Rank()
+	out := make([][]byte, n)
+	out[me] = append([]byte(nil), mine...)
+	if n == 1 {
+		return out, nil
+	}
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	// At step s we forward the block that originated at rank me-s.
+	for s := 0; s < n-1; s++ {
+		sendIdx := (me - s + n) % n
+		if err := c.Send(right, tag, out[sendIdx]); err != nil {
+			return nil, fmt.Errorf("allgather send step %d: %w", s, err)
+		}
+		recvIdx := (me - s - 1 + n) % n
+		data, err := c.Recv(left, tag)
+		if err != nil {
+			return nil, fmt.Errorf("allgather recv step %d: %w", s, err)
+		}
+		out[recvIdx] = data
+	}
+	return out, nil
+}
+
+// MergeFunc folds the payload other into acc and returns the new
+// accumulator. Implementations must be associative and deterministic; the
+// reduction applies them in a fixed tree order so every rank computes the
+// same result.
+type MergeFunc func(acc, other []byte) ([]byte, error)
+
+// Allreduce folds every rank's buffer with merge and distributes the
+// result: a binomial-tree reduction to rank 0 (ceil(log2 N) merge rounds,
+// the paper's "hierarchic bottom-up" scheme) followed by a binomial-tree
+// broadcast.
+func Allreduce(c Comm, mine []byte, merge MergeFunc) ([]byte, error) {
+	acc, err := Reduce(c, 0, mine, merge)
+	if err != nil {
+		return nil, err
+	}
+	return Bcast(c, 0, acc)
+}
+
+// Reduce folds every rank's buffer to root using merge over a binomial
+// tree. Only root receives the final value; other ranks return nil.
+func Reduce(c Comm, root int, mine []byte, merge MergeFunc) ([]byte, error) {
+	if err := checkPeer(c, root); err != nil {
+		return nil, err
+	}
+	tag := collTag(opReduce, c.NextSeq())
+	n := c.Size()
+	vrank := (c.Rank() - root + n) % n
+	acc := mine
+
+	for mask := 1; mask < n; mask *= 2 {
+		if vrank&mask != 0 {
+			// Send accumulator to the subtree parent and leave.
+			parent := (vrank - mask + root) % n
+			if err := c.Send(parent, tag, acc); err != nil {
+				return nil, fmt.Errorf("reduce send: %w", err)
+			}
+			return nil, nil
+		}
+		child := vrank + mask
+		if child < n {
+			data, err := c.Recv((child+root)%n, tag)
+			if err != nil {
+				return nil, fmt.Errorf("reduce recv: %w", err)
+			}
+			acc, err = merge(acc, data)
+			if err != nil {
+				return nil, fmt.Errorf("reduce merge: %w", err)
+			}
+		}
+	}
+	return acc, nil
+}
+
+// AllgatherInt64 is a convenience wrapper gathering one int64 vector per
+// rank. Every rank must contribute a vector of the same length.
+func AllgatherInt64(c Comm, mine []int64) ([][]int64, error) {
+	buf := make([]byte, 8*len(mine))
+	for i, v := range mine {
+		binary.BigEndian.PutUint64(buf[8*i:], uint64(v))
+	}
+	raw, err := Allgather(c, buf)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int64, len(raw))
+	for r, b := range raw {
+		if len(b)%8 != 0 {
+			return nil, fmt.Errorf("allgather: rank %d sent %d bytes, not a multiple of 8", r, len(b))
+		}
+		vec := make([]int64, len(b)/8)
+		for i := range vec {
+			vec[i] = int64(binary.BigEndian.Uint64(b[8*i:]))
+		}
+		out[r] = vec
+	}
+	return out, nil
+}

@@ -1,0 +1,362 @@
+package collectives
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// groupSizes exercises power-of-two and awkward sizes.
+var groupSizes = []int{1, 2, 3, 5, 8, 13, 32}
+
+func TestSendRecvOrder(t *testing.T) {
+	err := Run(2, func(c Comm) error {
+		const n = 50
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Send(1, 3, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			msg, err := c.Recv(0, 3)
+			if err != nil {
+				return err
+			}
+			if len(msg) != 1 || msg[0] != byte(i) {
+				return fmt.Errorf("message %d out of order: %v", i, msg)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendToInvalidRank(t *testing.T) {
+	err := Run(2, func(c Comm) error {
+		if err := c.Send(5, 1, nil); err == nil {
+			return fmt.Errorf("send to rank 5 in a 2-rank group succeeded")
+		}
+		if err := c.Send(-1, 1, nil); err == nil {
+			return fmt.Errorf("send to rank -1 succeeded")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	err := Run(1, func(c Comm) error {
+		if err := c.Send(0, 9, []byte("hi")); err != nil {
+			return err
+		}
+		msg, err := c.Recv(0, 9)
+		if err != nil {
+			return err
+		}
+		if string(msg) != "hi" {
+			return fmt.Errorf("self-send delivered %q", msg)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagIsolation(t *testing.T) {
+	err := Run(2, func(c Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 2, []byte("two")); err != nil {
+				return err
+			}
+			return c.Send(1, 1, []byte("one"))
+		}
+		one, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		two, err := c.Recv(0, 2)
+		if err != nil {
+			return err
+		}
+		if string(one) != "one" || string(two) != "two" {
+			return fmt.Errorf("tag streams crossed: %q %q", one, two)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierAllSizes(t *testing.T) {
+	for _, n := range groupSizes {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			// Each rank increments a counter before the barrier; after it
+			// every rank must observe the full count.
+			var mu sync.Mutex
+			arrived := 0
+			err := Run(n, func(c Comm) error {
+				mu.Lock()
+				arrived++
+				mu.Unlock()
+				if err := Barrier(c); err != nil {
+					return err
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				if arrived != n {
+					return fmt.Errorf("rank %d passed barrier with %d/%d arrivals", c.Rank(), arrived, n)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestBcastAllSizesAllRoots(t *testing.T) {
+	for _, n := range groupSizes {
+		for root := 0; root < n; root += max(1, n/3) {
+			n, root := n, root
+			t.Run(fmt.Sprintf("n=%d/root=%d", n, root), func(t *testing.T) {
+				payload := []byte(fmt.Sprintf("payload-from-%d", root))
+				err := Run(n, func(c Comm) error {
+					var in []byte
+					if c.Rank() == root {
+						in = payload
+					}
+					out, err := Bcast(c, root, in)
+					if err != nil {
+						return err
+					}
+					if !bytes.Equal(out, payload) {
+						return fmt.Errorf("rank %d got %q", c.Rank(), out)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	for _, n := range groupSizes {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			root := n / 2
+			err := Run(n, func(c Comm) error {
+				mine := []byte{byte(c.Rank()), byte(c.Rank() * 2)}
+				got, err := Gather(c, root, mine)
+				if err != nil {
+					return err
+				}
+				if c.Rank() != root {
+					if got != nil {
+						return fmt.Errorf("non-root rank %d got data", c.Rank())
+					}
+					return nil
+				}
+				for r, b := range got {
+					want := []byte{byte(r), byte(r * 2)}
+					if !bytes.Equal(b, want) {
+						return fmt.Errorf("root: rank %d block = %v, want %v", r, b, want)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	for _, n := range groupSizes {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			err := Run(n, func(c Comm) error {
+				mine := []byte(fmt.Sprintf("block-%03d", c.Rank()))
+				got, err := Allgather(c, mine)
+				if err != nil {
+					return err
+				}
+				if len(got) != n {
+					return fmt.Errorf("got %d blocks, want %d", len(got), n)
+				}
+				for r, b := range got {
+					if want := fmt.Sprintf("block-%03d", r); string(b) != want {
+						return fmt.Errorf("block %d = %q, want %q", r, b, want)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAllgatherInt64(t *testing.T) {
+	err := Run(4, func(c Comm) error {
+		mine := []int64{int64(c.Rank()), int64(c.Rank() * 10)}
+		got, err := AllgatherInt64(c, mine)
+		if err != nil {
+			return err
+		}
+		for r, vec := range got {
+			if vec[0] != int64(r) || vec[1] != int64(r*10) {
+				return fmt.Errorf("rank %d vector = %v", r, vec)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sumMerge folds big-endian u64 sums, an associative merge for testing.
+func sumMerge(acc, other []byte) ([]byte, error) {
+	a := binary.BigEndian.Uint64(acc)
+	b := binary.BigEndian.Uint64(other)
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, a+b)
+	return out, nil
+}
+
+func TestAllreduceSum(t *testing.T) {
+	for _, n := range groupSizes {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			want := uint64(n * (n + 1) / 2)
+			err := Run(n, func(c Comm) error {
+				mine := make([]byte, 8)
+				binary.BigEndian.PutUint64(mine, uint64(c.Rank()+1))
+				out, err := Allreduce(c, mine, sumMerge)
+				if err != nil {
+					return err
+				}
+				if got := binary.BigEndian.Uint64(out); got != want {
+					return fmt.Errorf("rank %d: sum = %d, want %d", c.Rank(), got, want)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestReduceOnlyRootHasResult(t *testing.T) {
+	err := Run(6, func(c Comm) error {
+		mine := make([]byte, 8)
+		binary.BigEndian.PutUint64(mine, 1)
+		out, err := Reduce(c, 2, mine, sumMerge)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 2 {
+			if out == nil || binary.BigEndian.Uint64(out) != 6 {
+				return fmt.Errorf("root result = %v", out)
+			}
+		} else if out != nil {
+			return fmt.Errorf("non-root rank %d has result", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectivesBackToBack(t *testing.T) {
+	// Successive collectives must not cross-talk (sequence-salted tags).
+	err := Run(5, func(c Comm) error {
+		for i := 0; i < 10; i++ {
+			payload := []byte{byte(i)}
+			var in []byte
+			if c.Rank() == i%5 {
+				in = payload
+			}
+			out, err := Bcast(c, i%5, in)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(out, payload) {
+				return fmt.Errorf("iteration %d: got %v", i, out)
+			}
+			if err := Barrier(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCountTraffic(t *testing.T) {
+	err := Run(2, func(c Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 1, make([]byte, 100)); err != nil {
+				return err
+			}
+			if c.Stats().BytesSent != 100 {
+				return fmt.Errorf("BytesSent = %d, want 100", c.Stats().BytesSent)
+			}
+			return nil
+		}
+		if _, err := c.Recv(0, 1); err != nil {
+			return err
+		}
+		if c.Stats().BytesRecv != 100 {
+			return fmt.Errorf("BytesRecv = %d, want 100", c.Stats().BytesRecv)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	err := Run(3, func(c Comm) error {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+		// Other ranks block on a message that will never come; the
+		// panic recovery must close the group and unblock them.
+		_, err := c.Recv((c.Rank()+1)%3, 7)
+		return err
+	})
+	if err == nil {
+		t.Fatal("Run swallowed a rank panic")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

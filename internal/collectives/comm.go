@@ -1,0 +1,128 @@
+// Package collectives is a small MPI-like runtime: ranks, tagged
+// point-to-point messages, tree-based collective operations and one-sided
+// windows, over two interchangeable transports — an in-process transport
+// (goroutines and channels, used to simulate hundreds of ranks in one
+// process) and a TCP transport (length-prefixed frames, used to run real
+// multi-process collective dumps over sockets).
+//
+// The collective algorithms (Barrier, Bcast, Gather, Allgather, Allreduce)
+// are written once against the Comm interface and shared by both
+// transports.
+package collectives
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Tag labels a message stream between two ranks. User tags must be below
+// TagUserLimit; the runtime reserves the rest for collectives and windows.
+type Tag uint32
+
+// Reserved tag space.
+const (
+	// TagUserLimit is the first reserved tag; user code must stay below.
+	TagUserLimit Tag = 1 << 24
+
+	tagCollBase Tag = TagUserLimit      // collective ops (sequence-salted)
+	tagWinBase  Tag = TagUserLimit << 1 // one-sided window traffic
+)
+
+// ErrClosed is returned by operations on a closed communicator.
+var ErrClosed = errors.New("collectives: communicator closed")
+
+// Comm is a communicator: a fixed group of ranks 0..Size()-1 that can
+// exchange tagged messages. All collective operations in this package are
+// built on this interface.
+//
+// A Comm value belongs to exactly one rank; every rank of the group holds
+// its own Comm. Methods may be called from multiple goroutines of that
+// rank, but matching (from, tag) streams must not be shared.
+type Comm interface {
+	// Rank returns this process's rank in [0, Size).
+	Rank() int
+	// Size returns the number of ranks in the group.
+	Size() int
+	// Send delivers data to rank `to` under tag. It may block until the
+	// transport accepts the message, but never until the receiver calls
+	// Recv (buffered semantics). data is not retained after Send returns.
+	Send(to int, tag Tag, data []byte) error
+	// Recv blocks until a message from rank `from` with tag arrives and
+	// returns its payload. Messages from one sender under one tag arrive
+	// in send order.
+	Recv(from int, tag Tag) ([]byte, error)
+	// NextSeq returns a per-communicator sequence number used to salt
+	// collective tags. All ranks must invoke collectives in the same
+	// order (SPMD), so equal sequence numbers identify the same
+	// collective call site.
+	NextSeq() uint32
+	// Stats returns a snapshot of this rank's transport counters.
+	Stats() Stats
+	// Close releases the communicator. Pending Recvs fail with ErrClosed.
+	Close() error
+}
+
+// Stats counts transport traffic for one rank. The experiment harness
+// feeds these into the performance model, so they must reflect every byte
+// a rank pushes to or pulls from its peers (self-sends are free and not
+// counted).
+type Stats struct {
+	BytesSent int64
+	BytesRecv int64
+	MsgsSent  int64
+	MsgsRecv  int64
+}
+
+// statsCounter is embedded by transports to track Stats atomically.
+type statsCounter struct {
+	bytesSent atomic.Int64
+	bytesRecv atomic.Int64
+	msgsSent  atomic.Int64
+	msgsRecv  atomic.Int64
+}
+
+func (s *statsCounter) countSend(n int) {
+	s.bytesSent.Add(int64(n))
+	s.msgsSent.Add(1)
+}
+
+func (s *statsCounter) countRecv(n int) {
+	s.bytesRecv.Add(int64(n))
+	s.msgsRecv.Add(1)
+}
+
+func (s *statsCounter) snapshot() Stats {
+	return Stats{
+		BytesSent: s.bytesSent.Load(),
+		BytesRecv: s.bytesRecv.Load(),
+		MsgsSent:  s.msgsSent.Load(),
+		MsgsRecv:  s.msgsRecv.Load(),
+	}
+}
+
+// checkPeer validates a peer rank.
+func checkPeer(c Comm, peer int) error {
+	if peer < 0 || peer >= c.Size() {
+		return fmt.Errorf("collectives: peer rank %d out of range [0,%d)", peer, c.Size())
+	}
+	return nil
+}
+
+// checkRecv validates a receive: the AnyRank wildcard is only meaningful
+// for wildcard-delivery tags (transports file those under AnyRank), and a
+// wildcard tag can ONLY be received with AnyRank — a specific-sender
+// receive on it would block forever.
+func checkRecv(c Comm, from int, tag Tag) error {
+	wild := tag >= tagWinBase
+	if from == AnyRank {
+		if !wild {
+			return fmt.Errorf("collectives: AnyRank receive on non-wildcard tag %#x", uint32(tag))
+		}
+		return nil
+	}
+	if wild {
+		return fmt.Errorf("collectives: wildcard tag %#x must be received with AnyRank", uint32(tag))
+	}
+	return checkPeer(c, from)
+}

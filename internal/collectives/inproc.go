@@ -1,0 +1,144 @@
+package collectives
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Group is an in-process communicator group: Size ranks living in one OS
+// process, each driven by its own goroutine, exchanging messages through
+// shared mailboxes. It simulates the paper's MPI job (hundreds of ranks)
+// on a single machine.
+type Group struct {
+	size   int
+	boxes  []*mailbox
+	closed atomic.Bool
+}
+
+// NewGroup creates an in-process group of n ranks.
+func NewGroup(n int) (*Group, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("collectives: group size %d must be positive", n)
+	}
+	g := &Group{size: n, boxes: make([]*mailbox, n)}
+	for i := range g.boxes {
+		g.boxes[i] = newMailbox()
+	}
+	return g, nil
+}
+
+// Comm returns the communicator endpoint of the given rank.
+func (g *Group) Comm(rank int) (*InprocComm, error) {
+	if rank < 0 || rank >= g.size {
+		return nil, fmt.Errorf("collectives: rank %d out of range [0,%d)", rank, g.size)
+	}
+	return &InprocComm{group: g, rank: rank}, nil
+}
+
+// Close shuts the group down; blocked receivers fail with ErrClosed.
+func (g *Group) Close() error {
+	if g.closed.CompareAndSwap(false, true) {
+		for _, b := range g.boxes {
+			b.close()
+		}
+	}
+	return nil
+}
+
+// InprocComm is one rank's endpoint into an in-process Group.
+type InprocComm struct {
+	group *Group
+	rank  int
+	seq   atomic.Uint32
+	statsCounter
+}
+
+var _ Comm = (*InprocComm)(nil)
+
+// Rank implements Comm.
+func (c *InprocComm) Rank() int { return c.rank }
+
+// Size implements Comm.
+func (c *InprocComm) Size() int { return c.group.size }
+
+// NextSeq implements Comm.
+func (c *InprocComm) NextSeq() uint32 { return c.seq.Add(1) }
+
+// Stats implements Comm.
+func (c *InprocComm) Stats() Stats { return c.snapshot() }
+
+// Send implements Comm. The payload is copied, so the caller may reuse
+// data immediately (matching the TCP transport's semantics).
+func (c *InprocComm) Send(to int, tag Tag, data []byte) error {
+	if err := checkPeer(c, to); err != nil {
+		return err
+	}
+	if c.group.closed.Load() {
+		return ErrClosed
+	}
+	msg := make([]byte, len(data))
+	copy(msg, data)
+	c.group.boxes[to].put(c.rank, tag, msg)
+	if to != c.rank {
+		c.countSend(len(data))
+	}
+	return nil
+}
+
+// Recv implements Comm. The AnyRank wildcard is accepted for window tags.
+func (c *InprocComm) Recv(from int, tag Tag) ([]byte, error) {
+	if err := checkRecv(c, from, tag); err != nil {
+		return nil, err
+	}
+	data, err := c.group.boxes[c.rank].get(from, tag)
+	if err != nil {
+		return nil, err
+	}
+	if from != c.rank {
+		c.countRecv(len(data))
+	}
+	return data, nil
+}
+
+// Close implements Comm. Closing any rank's endpoint closes the group.
+func (c *InprocComm) Close() error { return c.group.Close() }
+
+// Run executes body once per rank on a fresh in-process group of n ranks,
+// one goroutine per rank, and waits for all of them. It returns the first
+// non-nil error (by rank order). The group is closed before Run returns.
+func Run(n int, body func(Comm) error) error {
+	g, err := NewGroup(n)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		comm, err := g.Comm(r)
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(rank int, c Comm) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("rank %d panicked: %v", rank, p)
+					// Unblock peers stuck in Recv so Run terminates.
+					g.Close()
+				}
+			}()
+			errs[rank] = body(c)
+		}(r, comm)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return nil
+}

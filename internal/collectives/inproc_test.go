@@ -1,0 +1,104 @@
+package collectives
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestNewGroupValidation(t *testing.T) {
+	if _, err := NewGroup(0); err == nil {
+		t.Error("NewGroup(0) accepted")
+	}
+	if _, err := NewGroup(-4); err == nil {
+		t.Error("NewGroup(-4) accepted")
+	}
+}
+
+func TestGroupCommValidation(t *testing.T) {
+	g, err := NewGroup(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if _, err := g.Comm(3); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	if _, err := g.Comm(-1); err == nil {
+		t.Error("negative rank accepted")
+	}
+	c, err := g.Comm(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rank() != 2 || c.Size() != 3 {
+		t.Errorf("Rank/Size = %d/%d", c.Rank(), c.Size())
+	}
+}
+
+func TestGroupCloseIdempotent(t *testing.T) {
+	g, err := NewGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal("second Close errored:", err)
+	}
+}
+
+func TestSendAfterGroupClose(t *testing.T) {
+	g, err := NewGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := g.Comm(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	if err := c.Send(1, 1, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestNextSeqMonotonic(t *testing.T) {
+	g, err := NewGroup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	c, err := g.Comm(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := c.NextSeq()
+	for i := 0; i < 100; i++ {
+		next := c.NextSeq()
+		if next <= prev {
+			t.Fatalf("NextSeq not monotonic: %d after %d", next, prev)
+		}
+		prev = next
+	}
+}
+
+func TestRunSurfacesFirstError(t *testing.T) {
+	sentinel := fmt.Errorf("rank-specific failure")
+	err := Run(4, func(c Comm) error {
+		if c.Rank() == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Run returned %v, want wrapped sentinel", err)
+	}
+}
+
+func TestRunRejectsBadSize(t *testing.T) {
+	if err := Run(0, func(Comm) error { return nil }); err == nil {
+		t.Fatal("Run(0) accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package collectives
+
+import "sync"
+
+// msgKey identifies a (sender, tag) message stream.
+type msgKey struct {
+	from int
+	tag  Tag
+}
+
+// mailbox is a matching receive queue: messages are enqueued by transport
+// readers and dequeued by Recv calls matching on (from, tag). Per-stream
+// FIFO order is preserved. It is shared by both transports.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[msgKey][][]byte
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{queues: make(map[msgKey][][]byte)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// put enqueues a message. The mailbox takes ownership of data.
+// Window-tagged traffic is filed under the AnyRank wildcard, since window
+// owners drain puts without caring about the sender.
+func (m *mailbox) put(from int, tag Tag, data []byte) {
+	if tag >= tagWinBase {
+		from = AnyRank
+	}
+	m.mu.Lock()
+	k := msgKey{from, tag}
+	m.queues[k] = append(m.queues[k], data)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// get blocks until a message matching (from, tag) is available or the
+// mailbox is closed.
+func (m *mailbox) get(from int, tag Tag) ([]byte, error) {
+	k := msgKey{from, tag}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if q := m.queues[k]; len(q) > 0 {
+			data := q[0]
+			if len(q) == 1 {
+				delete(m.queues, k)
+			} else {
+				// Avoid retaining the delivered element.
+				q[0] = nil
+				m.queues[k] = q[1:]
+			}
+			return data, nil
+		}
+		if m.closed {
+			return nil, ErrClosed
+		}
+		m.cond.Wait()
+	}
+}
+
+// close wakes all blocked receivers with ErrClosed.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}

@@ -1,0 +1,266 @@
+package collectives
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TCPComm is a communicator over TCP sockets: the "fake MPI over sockets"
+// transport. Each rank listens on one address; data connections are
+// unidirectional and dialed lazily on first send, so a pair of ranks that
+// exchange data in both directions holds two connections.
+//
+// Wire protocol, all integers big endian:
+//
+//	handshake (once per connection, dialer → accepter): u32 senderRank
+//	frame: u32 payloadLen | u32 tag | payload
+type TCPComm struct {
+	rank  int
+	addrs []string
+
+	listener net.Listener
+	box      *mailbox
+
+	mu      sync.Mutex // guards conns and inbound
+	conns   map[int]*tcpSender
+	inbound []net.Conn
+
+	seq    atomic.Uint32
+	closed atomic.Bool
+	wg     sync.WaitGroup
+	statsCounter
+}
+
+var _ Comm = (*TCPComm)(nil)
+
+// tcpSender is one outgoing connection with its write lock.
+type tcpSender struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// DialTCP creates the endpoint of rank within a group whose rank i listens
+// on addrs[i]. It starts listening immediately; outgoing connections are
+// established lazily. All ranks of the group must be constructed before
+// any collective is attempted.
+func DialTCP(rank int, addrs []string) (*TCPComm, error) {
+	if rank < 0 || rank >= len(addrs) {
+		return nil, fmt.Errorf("collectives: rank %d out of range for %d addresses", rank, len(addrs))
+	}
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("collectives: rank %d listen %s: %w", rank, addrs[rank], err)
+	}
+	return newTCPComm(rank, addrs, ln), nil
+}
+
+// newTCPComm wires a communicator around an already-bound listener.
+func newTCPComm(rank int, addrs []string, ln net.Listener) *TCPComm {
+	c := &TCPComm{
+		rank:     rank,
+		addrs:    append([]string(nil), addrs...),
+		listener: ln,
+		box:      newMailbox(),
+		conns:    make(map[int]*tcpSender),
+	}
+	// Record the actual address in case addrs[rank] used port 0.
+	c.addrs[rank] = ln.Addr().String()
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c
+}
+
+// LocalAddr returns the address this rank is listening on.
+func (c *TCPComm) LocalAddr() string { return c.addrs[c.rank] }
+
+// Rank implements Comm.
+func (c *TCPComm) Rank() int { return c.rank }
+
+// Size implements Comm.
+func (c *TCPComm) Size() int { return len(c.addrs) }
+
+// NextSeq implements Comm.
+func (c *TCPComm) NextSeq() uint32 { return c.seq.Add(1) }
+
+// Stats implements Comm.
+func (c *TCPComm) Stats() Stats { return c.snapshot() }
+
+func (c *TCPComm) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.mu.Lock()
+		if c.closed.Load() {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		c.inbound = append(c.inbound, conn)
+		c.mu.Unlock()
+		c.wg.Add(1)
+		go c.readLoop(conn)
+	}
+}
+
+// readLoop performs the handshake and pumps frames into the mailbox.
+func (c *TCPComm) readLoop(conn net.Conn) {
+	defer c.wg.Done()
+	defer conn.Close()
+	var hdr [8]byte
+	if _, err := io.ReadFull(conn, hdr[:4]); err != nil {
+		return
+	}
+	from := int(binary.BigEndian.Uint32(hdr[:4]))
+	if from < 0 || from >= len(c.addrs) {
+		return
+	}
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(hdr[:4])
+		tag := Tag(binary.BigEndian.Uint32(hdr[4:]))
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		c.countRecv(len(payload))
+		c.box.put(from, tag, payload)
+	}
+}
+
+// dialTimeout bounds how long a rank waits for a peer process to start
+// listening. Ranks of one job are launched together but not atomically,
+// so the first send retries through the startup skew.
+const dialTimeout = 30 * time.Second
+
+// sender returns (dialing if needed) the outgoing connection to peer.
+func (c *TCPComm) sender(peer int) (*tcpSender, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	if s, ok := c.conns[peer]; ok {
+		return s, nil
+	}
+	var conn net.Conn
+	var err error
+	deadline := time.Now().Add(dialTimeout)
+	for {
+		conn, err = net.Dial("tcp", c.addrs[peer])
+		if err == nil {
+			break
+		}
+		if c.closed.Load() || time.Now().After(deadline) {
+			return nil, fmt.Errorf("collectives: rank %d dial rank %d (%s): %w", c.rank, peer, c.addrs[peer], err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	var hs [4]byte
+	binary.BigEndian.PutUint32(hs[:], uint32(c.rank))
+	if _, err := conn.Write(hs[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("collectives: handshake with rank %d: %w", peer, err)
+	}
+	s := &tcpSender{conn: conn}
+	c.conns[peer] = s
+	return s, nil
+}
+
+// Send implements Comm.
+func (c *TCPComm) Send(to int, tag Tag, data []byte) error {
+	if err := checkPeer(c, to); err != nil {
+		return err
+	}
+	if to == c.rank {
+		// Self-send: deliver locally without touching the network.
+		msg := make([]byte, len(data))
+		copy(msg, data)
+		c.box.put(c.rank, tag, msg)
+		return nil
+	}
+	s, err := c.sender(to)
+	if err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(data)))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(tag))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.conn.Write(hdr[:]); err != nil {
+		return fmt.Errorf("collectives: send header to rank %d: %w", to, err)
+	}
+	if _, err := s.conn.Write(data); err != nil {
+		return fmt.Errorf("collectives: send payload to rank %d: %w", to, err)
+	}
+	c.countSend(len(data))
+	return nil
+}
+
+// Recv implements Comm. The AnyRank wildcard is accepted for window tags.
+func (c *TCPComm) Recv(from int, tag Tag) ([]byte, error) {
+	if err := checkRecv(c, from, tag); err != nil {
+		return nil, err
+	}
+	return c.box.get(from, tag)
+}
+
+// Close implements Comm. It closes the listener and all connections;
+// blocked receivers fail with ErrClosed.
+func (c *TCPComm) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	c.listener.Close()
+	c.mu.Lock()
+	for _, s := range c.conns {
+		s.conn.Close()
+	}
+	for _, conn := range c.inbound {
+		conn.Close()
+	}
+	c.mu.Unlock()
+	c.box.close()
+	c.wg.Wait()
+	return nil
+}
+
+// StartLocalTCP creates a fully configured local TCP group of n ranks on
+// loopback addresses with ephemeral ports, used by tests, examples and the
+// sockets demo. The caller owns the returned comms and must Close all of
+// them.
+func StartLocalTCP(n int) ([]*TCPComm, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("collectives: group size %d must be positive", n)
+	}
+	// Reserve ports by listening first, then hand the concrete address
+	// list to every rank.
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners[:i] {
+				l.Close()
+			}
+			return nil, err
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	comms := make([]*TCPComm, n)
+	for i := range comms {
+		comms[i] = newTCPComm(i, addrs, listeners[i])
+	}
+	return comms, nil
+}

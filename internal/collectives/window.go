@@ -1,0 +1,117 @@
+package collectives
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Window is a one-sided communication window: a byte region a rank exposes
+// so that partners can Put data at offsets they computed independently
+// (Algorithm 3 of the paper). Because the offset planning tells the owner
+// exactly how many bytes will arrive, the window is opened with the exact
+// expected size and completion needs no extra synchronization: the owner
+// simply drains puts until the window is full.
+//
+// Usage (all ranks):
+//
+//	win := OpenWindow(comm, expectedBytes, epoch)
+//	... win.Put(target, offset, data) for each partner ...
+//	buf, err := win.Wait()   // blocks until the window is full
+//
+// Put and Wait may be interleaved freely; the wire protocol is symmetric
+// across transports (a header frame with the destination offset followed
+// by the payload in the same frame).
+type Window struct {
+	comm   Comm
+	tag    Tag
+	buf    []byte
+	filled int64
+}
+
+// windowTag derives the tag for a window epoch. Epochs must be issued in
+// the same order on all ranks (one per collective dump).
+func windowTag(epoch uint32) Tag {
+	return tagWinBase + Tag(epoch%(1<<20))
+}
+
+// OpenWindow exposes a window of exactly size bytes for the given epoch.
+// Every rank participating in the epoch must open a window (possibly of
+// size zero) with the same epoch number.
+func OpenWindow(c Comm, size int64, epoch uint32) *Window {
+	return &Window{comm: c, tag: windowTag(epoch), buf: make([]byte, size)}
+}
+
+// Put writes data into the window of rank target at the given byte offset.
+// The caller must have planned offsets so that puts never overlap and the
+// target window is exactly filled; violations are detected by the target.
+func (w *Window) Put(target int, offset int64, data []byte) error {
+	if err := checkPeer(w.comm, target); err != nil {
+		return err
+	}
+	if target == w.comm.Rank() {
+		// Local put: write directly.
+		return w.deposit(offset, data)
+	}
+	frame := make([]byte, 8+len(data))
+	binary.BigEndian.PutUint64(frame, uint64(offset))
+	copy(frame[8:], data)
+	return w.comm.Send(target, w.tag, frame)
+}
+
+// deposit writes payload at offset into the local window buffer.
+func (w *Window) deposit(offset int64, data []byte) error {
+	if offset < 0 || offset+int64(len(data)) > int64(len(w.buf)) {
+		return fmt.Errorf("collectives: put of %d bytes at offset %d exceeds window of %d bytes",
+			len(data), offset, len(w.buf))
+	}
+	copy(w.buf[offset:], data)
+	w.filled += int64(len(data))
+	if w.filled > int64(len(w.buf)) {
+		return fmt.Errorf("collectives: window overfilled: %d bytes deposited into %d-byte window",
+			w.filled, len(w.buf))
+	}
+	return nil
+}
+
+// Wait blocks until the window is exactly full and returns its buffer.
+// Senders are identified implicitly: any rank may contribute, and the
+// exact-size property doubles as the completion fence.
+//
+// Wait assumes non-overlapping puts (guaranteed by the offset planning);
+// it counts bytes, so overlapping puts would stall or overfill, both of
+// which are reported as errors.
+func (w *Window) Wait() ([]byte, error) {
+	for w.filled < int64(len(w.buf)) {
+		frame, err := w.recvAny()
+		if err != nil {
+			return nil, err
+		}
+		if len(frame) < 8 {
+			return nil, fmt.Errorf("collectives: malformed window frame (%d bytes)", len(frame))
+		}
+		offset := int64(binary.BigEndian.Uint64(frame))
+		if err := w.deposit(offset, frame[8:]); err != nil {
+			return nil, err
+		}
+	}
+	return w.buf, nil
+}
+
+// recvAny receives the next window frame from any peer. Transports
+// deliver window traffic under the wildcard sender AnyRank.
+func (w *Window) recvAny() ([]byte, error) {
+	return w.comm.Recv(AnyRank, w.tag)
+}
+
+// AnyRank is the wildcard sender rank used for window traffic, where the
+// receiver does not care who a put came from.
+const AnyRank = -1
+
+// WildcardTag returns a tag in the wildcard-delivery space: messages sent
+// under it are received with Recv(AnyRank, tag) regardless of sender.
+// Used by request/reply protocols (e.g. the restore chunk service) where
+// the server cannot know who will call. The space is disjoint from window
+// epoch tags for any n.
+func WildcardTag(n uint32) Tag {
+	return tagWinBase + Tag(1<<20) + Tag(n)
+}

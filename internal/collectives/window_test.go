@@ -1,0 +1,167 @@
+package collectives
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestWindowInprocExchange(t *testing.T) {
+	// Three ranks fill rank 0's window at planned offsets.
+	err := Run(3, func(c Comm) error {
+		var size int64
+		if c.Rank() == 0 {
+			size = 12
+		}
+		win := OpenWindow(c, size, 1)
+		switch c.Rank() {
+		case 0:
+			if err := win.Put(0, 8, []byte("self")); err != nil {
+				return err
+			}
+			buf, err := win.Wait()
+			if err != nil {
+				return err
+			}
+			if string(buf) != "aaaabbbbself" {
+				return fmt.Errorf("window = %q", buf)
+			}
+		case 1:
+			if err := win.Put(0, 0, []byte("aaaa")); err != nil {
+				return err
+			}
+			if _, err := win.Wait(); err != nil {
+				return err
+			}
+		case 2:
+			if err := win.Put(0, 4, []byte("bbbb")); err != nil {
+				return err
+			}
+			if _, err := win.Wait(); err != nil {
+				return err
+			}
+		}
+		return Barrier(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowZeroSize(t *testing.T) {
+	err := Run(2, func(c Comm) error {
+		win := OpenWindow(c, 0, 1)
+		buf, err := win.Wait() // must return immediately
+		if err != nil {
+			return err
+		}
+		if len(buf) != 0 {
+			return fmt.Errorf("zero window returned %d bytes", len(buf))
+		}
+		return Barrier(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowRejectsOutOfBoundsPut(t *testing.T) {
+	err := Run(1, func(c Comm) error {
+		win := OpenWindow(c, 4, 1)
+		if err := win.Put(0, 2, []byte("toolong")); err == nil {
+			return fmt.Errorf("out-of-bounds self-put accepted")
+		}
+		if err := win.Put(0, -1, []byte("x")); err == nil {
+			return fmt.Errorf("negative offset accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowRemoteOverrunDetected(t *testing.T) {
+	err := Run(2, func(c Comm) error {
+		var size int64
+		if c.Rank() == 0 {
+			size = 4
+		}
+		win := OpenWindow(c, size, 1)
+		if c.Rank() == 1 {
+			// Remote put that overruns the target window.
+			return win.Put(0, 2, []byte("long"))
+		}
+		if _, err := win.Wait(); err == nil {
+			return fmt.Errorf("overrunning remote put not detected")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowLargePayloadRoundTrip(t *testing.T) {
+	payload := make([]byte, 256<<10)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	err := Run(2, func(c Comm) error {
+		var size int64
+		if c.Rank() == 0 {
+			size = int64(len(payload))
+		}
+		win := OpenWindow(c, size, 1)
+		if c.Rank() == 1 {
+			// Split into many puts at computed offsets, out of order.
+			const piece = 4096
+			for off := len(payload) - piece; off >= 0; off -= piece {
+				if err := win.Put(0, int64(off), payload[off:off+piece]); err != nil {
+					return err
+				}
+			}
+			return Barrier(c)
+		}
+		buf, err := win.Wait()
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, payload) {
+			return fmt.Errorf("window content corrupted")
+		}
+		return Barrier(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvWildcardValidation(t *testing.T) {
+	err := Run(1, func(c Comm) error {
+		if _, err := c.Recv(AnyRank, 5); err == nil {
+			return fmt.Errorf("AnyRank receive on a user tag accepted")
+		}
+		if _, err := c.Recv(0, WildcardTag(3)); err == nil {
+			return fmt.Errorf("specific-sender receive on a wildcard tag accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWildcardTagDisjointFromWindowEpochs(t *testing.T) {
+	// The first million window epochs and the wildcard space must not
+	// collide.
+	seen := map[Tag]bool{}
+	for e := uint32(0); e < 1<<20; e += 1 << 15 {
+		seen[windowTag(e)] = true
+	}
+	for n := uint32(0); n < 1<<19; n += 1 << 14 {
+		if seen[WildcardTag(n)] {
+			t.Fatalf("WildcardTag(%d) collides with a window epoch tag", n)
+		}
+	}
+}

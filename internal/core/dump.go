@@ -1,0 +1,532 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"dedupcr/internal/chunk"
+	"dedupcr/internal/collectives"
+	"dedupcr/internal/fingerprint"
+	"dedupcr/internal/metrics"
+	"dedupcr/internal/storage"
+)
+
+// tagMeta carries the RestoreMeta replicas between naive neighbours.
+const tagMeta collectives.Tag = 17
+
+// Result is the outcome of one collective dump on one rank.
+type Result struct {
+	// Metrics is the rank's instrumentation for the dump.
+	Metrics metrics.Dump
+	// Plan is the communication schedule that was executed; experiments
+	// read receive-size distributions and partner maps from it. It is
+	// identical on every rank.
+	Plan *Plan
+	// Global is the broadcast global fingerprint view (GHashes); nil for
+	// the baselines, which never build one.
+	Global *fingerprint.Table
+}
+
+// item is one chunk this rank keeps: it is stored locally and sent to
+// the partners whose indices (1..K-1) appear in partners, in ascending
+// order. An empty set means store-only.
+type item struct {
+	ch       chunk.Chunk
+	partners []int
+	// entry is the chunk's global-view entry when it has designated
+	// ranks and fewer than K of them (coll-dedup only): its replica
+	// targets are refined after partner identities are known.
+	entry *fingerprint.Entry
+}
+
+// prefix returns the partner indices 1..p.
+func prefix(p int) []int {
+	out := make([]int, 0, p)
+	for d := 1; d <= p; d++ {
+		out = append(out, d)
+	}
+	return out
+}
+
+// DumpOutput is the paper's collective write primitive: every rank of c
+// calls it simultaneously with its local dataset buf; on return the
+// dataset is stored on the rank's local store and protected by o.K-1
+// additional replicas spread across partner nodes — with coll-dedup,
+// counting naturally distributed duplicates toward the replication
+// factor.
+//
+// DumpOutput is collective and synchronizing: all ranks must call it with
+// the same Options (except buf, whose size may differ per rank).
+func DumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options) (*Result, error) {
+	o, err := o.normalized(c.Size())
+	if err != nil {
+		return nil, err
+	}
+	me, n := c.Rank(), c.Size()
+	m := metrics.Dump{Rank: me, DatasetBytes: int64(len(buf))}
+
+	// Phase 1 — chunking and fingerprinting (every byte is hashed once).
+	var chunker chunk.Chunker = chunk.NewFixed(o.ChunkSize)
+	if o.ContentDefined {
+		chunker = chunk.NewContentDefined(o.ChunkSize)
+	}
+	chunks := chunker.Split(buf)
+	m.TotalChunks = len(chunks)
+	m.HashedBytes = int64(len(buf))
+	recipe := chunk.BuildRecipe(chunks)
+
+	// Phase 2 — local deduplication: one copy per distinct fingerprint.
+	uniq := localDedup(chunks)
+	m.LocalUniqueChunks = len(uniq)
+
+	// Phase 3 — classification. For coll-dedup this runs the collective
+	// fingerprint reduction and decides, per chunk: discard (enough
+	// natural replicas elsewhere), store only, or store and replicate;
+	// replica targets of designated chunks stay provisional until the
+	// partner identities are known (phase 5).
+	items, hints, global, err := classify(c, chunks, uniq, o, &m)
+	if err != nil {
+		return nil, fmt.Errorf("rank %d classify: %w", me, err)
+	}
+
+	// Phase 4 — provisional load vectors and their allgather (Algorithm
+	// 1, l. 4-10). These drive the rank shuffle; per-partner splits may
+	// still shift in phase 5, totals cannot.
+	load := sendLoads(items, o.K)
+	pre := c.Stats()
+	sendLoad, err := collectives.AllgatherInt64(c, load)
+	if err != nil {
+		return nil, fmt.Errorf("rank %d load allgather: %w", me, err)
+	}
+	m.LoadExchangeBytes = c.Stats().BytesSent - pre.BytesSent
+
+	// Phase 5 — partner selection (Algorithm 2) from the provisional
+	// totals, then replica-target refinement: designated ranks re-aim
+	// their extra copies at partners that are not already natural
+	// holders (a correctness refinement over the paper; see DESIGN.md).
+	// The refined per-partner loads are allgathered again so the offset
+	// planning (Algorithm 3) stays exact.
+	totals := make([]int64, n)
+	for r, row := range sendLoad {
+		for d := 1; d < o.K; d++ {
+			totals[r] += row[d]
+		}
+	}
+	var shuffle []int
+	switch {
+	case *o.Shuffle && o.Topology != nil:
+		shuffle = RackAwareShuffle(totals, o.K, *o.Topology)
+	case *o.Shuffle:
+		shuffle = RankShuffle(totals, o.K)
+	default:
+		shuffle = IdentityShuffle(n)
+	}
+	if o.Approach == CollDedup {
+		refineTargets(items, shuffle, o.K, me)
+		load = sendLoads(items, o.K)
+		pre = c.Stats()
+		sendLoad, err = collectives.AllgatherInt64(c, load)
+		if err != nil {
+			return nil, fmt.Errorf("rank %d refined load allgather: %w", me, err)
+		}
+		m.LoadExchangeBytes += c.Stats().BytesSent - pre.BytesSent
+	}
+	plan, err := NewPlan(shuffle, sendLoad, o.K)
+	if err != nil {
+		return nil, fmt.Errorf("rank %d plan: %w", me, err)
+	}
+
+	// Phase 6 — single-sided exchange: open an exactly-sized window, put
+	// each replicated chunk into the partner windows at the planned
+	// offsets, then drain the own window until full.
+	winSize := plan.WindowSize(me)
+	m.WindowBytes = winSize
+	win := collectives.OpenWindow(c, winSize, c.NextSeq())
+	offs := plan.Offsets(me)
+	for d := 1; d < o.K; d++ {
+		target := plan.Partner(me, d)
+		off := offs[d]
+		for _, it := range items {
+			if !sendsTo(it, d) {
+				continue
+			}
+			rec := encodeRecord(it.ch.Data)
+			if err := win.Put(target, off, rec); err != nil {
+				return nil, fmt.Errorf("rank %d put to %d: %w", me, target, err)
+			}
+			off += int64(len(rec))
+			m.SentChunks++
+			m.SentBytes += int64(len(it.ch.Data))
+		}
+	}
+	recvBuf, err := win.Wait()
+	if err != nil {
+		return nil, fmt.Errorf("rank %d window: %w", me, err)
+	}
+
+	// Phase 7 — commit: own chunks, received chunks, restore metadata,
+	// and the reference list that lets Forget reclaim this dataset.
+	refs := make([]fingerprint.FP, 0, len(items))
+	for _, it := range items {
+		if err := store.PutChunk(it.ch.FP, it.ch.Data); err != nil {
+			return nil, fmt.Errorf("rank %d store chunk: %w", me, err)
+		}
+		refs = append(refs, it.ch.FP)
+		m.StoredChunks++
+		m.StoredBytes += int64(len(it.ch.Data))
+	}
+	recvRefs, err := commitReceived(store, recvBuf, &m)
+	if err != nil {
+		return nil, fmt.Errorf("rank %d commit received: %w", me, err)
+	}
+	refs = append(refs, recvRefs...)
+	if err := store.PutBlob(gcName(o.Name, me), marshalFPs(refs)); err != nil {
+		return nil, fmt.Errorf("rank %d gc list: %w", me, err)
+	}
+	if err := persistMeta(c, store, o, recipe, hints); err != nil {
+		return nil, fmt.Errorf("rank %d persist meta: %w", me, err)
+	}
+
+	// The dump completes collectively once everyone has committed.
+	if err := collectives.Barrier(c); err != nil {
+		return nil, fmt.Errorf("rank %d final barrier: %w", me, err)
+	}
+	return &Result{Metrics: m, Plan: plan, Global: global}, nil
+}
+
+// localDedup keeps the first occurrence of every distinct fingerprint,
+// preserving dataset order.
+func localDedup(chunks []chunk.Chunk) []chunk.Chunk {
+	seen := make(map[fingerprint.FP]struct{}, len(chunks))
+	out := make([]chunk.Chunk, 0, len(chunks))
+	for _, ch := range chunks {
+		if _, ok := seen[ch.FP]; ok {
+			continue
+		}
+		seen[ch.FP] = struct{}{}
+		out = append(out, ch)
+	}
+	return out
+}
+
+// classify decides the fate of every chunk under the selected approach.
+// It returns the chunks to keep (with their replication depth), the
+// location hints for discarded chunks, and the global view (coll-dedup
+// only).
+func classify(c collectives.Comm, all, uniq []chunk.Chunk, o Options, m *metrics.Dump) ([]item, map[fingerprint.FP][]int32, *fingerprint.Table, error) {
+	switch o.Approach {
+	case NoDedup:
+		// Full replication: every chunk, duplicates included, is stored
+		// and pushed to all K-1 partners. No redundancy is identified,
+		// so the whole dataset counts as unique content.
+		items := make([]item, len(all))
+		for i, ch := range all {
+			items[i] = item{ch: ch, partners: prefix(o.K - 1)}
+		}
+		m.UniqueContentBytes = m.DatasetBytes
+		return items, nil, nil, nil
+
+	case LocalDedup:
+		items := make([]item, len(uniq))
+		for i, ch := range uniq {
+			items[i] = item{ch: ch, partners: prefix(o.K - 1)}
+			m.UniqueContentBytes += int64(len(ch.Data))
+		}
+		return items, nil, nil, nil
+
+	case CollDedup:
+		global, err := reduceGlobal(c, uniq, o, m)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		me := int32(c.Rank())
+		items := make([]item, 0, len(uniq))
+		hints := make(map[fingerprint.FP][]int32)
+		for _, ch := range uniq {
+			e := global.Lookup(ch.FP)
+			if e == nil {
+				// Treated as globally unique: classic replication.
+				items = append(items, item{ch: ch, partners: prefix(o.K - 1)})
+				m.UniqueContentBytes += int64(len(ch.Data))
+				continue
+			}
+			// Chunks in the global view are counted once group-wide: by
+			// their first designated rank.
+			if len(e.Ranks) > 0 && e.Ranks[0] == me {
+				m.UniqueContentBytes += int64(len(ch.Data))
+			}
+			idx := e.RankIndex(me)
+			if idx < 0 {
+				// Other ranks are designated: the desired replication
+				// factor is (or will be made) satisfied without us.
+				hints[ch.FP] = append([]int32(nil), e.Ranks...)
+				continue
+			}
+			d := len(e.Ranks)
+			if d >= o.K {
+				// Enough natural replicas: store locally, send nothing.
+				items = append(items, item{ch: ch})
+				continue
+			}
+			// K-D missing replicas, distributed round-robin over the D
+			// designated ranks; we serve the slots congruent to our
+			// index in the designated list.
+			p := roundRobinShare(o.K, d, idx)
+			items = append(items, item{ch: ch, partners: prefix(p), entry: e})
+		}
+		return items, hints, global, nil
+
+	default:
+		return nil, nil, nil, fmt.Errorf("core: unknown approach %v", o.Approach)
+	}
+}
+
+// sendsTo reports whether the item is sent to partner index d.
+func sendsTo(it item, d int) bool {
+	for _, p := range it.partners {
+		if p == d {
+			return true
+		}
+	}
+	return false
+}
+
+// refineTargets re-aims the extra replicas of designated chunks once
+// partner identities are fixed by the shuffle. The paper sends the K-D
+// missing copies to the designated ranks' first partners, which can land
+// a copy on a rank that is itself a natural holder, silently lowering
+// the distinct-node count below K. Because every rank shares the global
+// view and the shuffle, all designated ranks can deterministically agree
+// on targets that avoid holders and each other, falling back to the
+// paper's behaviour only when the partner sets leave no choice.
+//
+// Only this rank's items are rewritten, but the slot walk below evolves
+// identically on every designated rank of a fingerprint, so their target
+// choices are consistent without communication.
+func refineTargets(items []item, shuffle []int, k int, me int) {
+	n := len(shuffle)
+	pos := make([]int, n)
+	for p, r := range shuffle {
+		pos[r] = p
+	}
+	partnerOf := func(rank, d int) int { return shuffle[(pos[rank]+d)%n] }
+
+	for i := range items {
+		e := items[i].entry
+		if e == nil || len(items[i].partners) == 0 {
+			continue
+		}
+		d := len(e.Ranks)
+		missing := k - d
+		// Walk the round-robin slots exactly as every designated rank
+		// does, tracking covered nodes; record the choices made by me.
+		taken := make(map[int]bool, k)
+		for _, r := range e.Ranks {
+			taken[int(r)] = true
+		}
+		used := make(map[int32]map[int]bool, d) // sender -> used partner idx
+		// Rotate the partner-index search start per fingerprint so
+		// copies spread evenly over partner slots group-wide; a fixed
+		// start would funnel every first copy at partner 1, breaking
+		// the even per-partner split Algorithm 2's balancing assumes.
+		start := 1 + int(e.FP[0])%(k-1)
+		var mine []int
+		for j := 0; j < missing; j++ {
+			sender := e.Ranks[j%d]
+			if used[sender] == nil {
+				used[sender] = make(map[int]bool, k)
+			}
+			chosen := -1
+			// First choice: first unused partner index (scanning from
+			// the rotated start) whose rank is not already a holder or
+			// target.
+			for o := 0; o < k-1; o++ {
+				di := 1 + (start-1+o)%(k-1)
+				if used[sender][di] {
+					continue
+				}
+				if !taken[partnerOf(int(sender), di)] {
+					chosen = di
+					break
+				}
+			}
+			if chosen < 0 {
+				// Fallback (paper behaviour): first unused index.
+				for o := 0; o < k-1; o++ {
+					di := 1 + (start-1+o)%(k-1)
+					if !used[sender][di] {
+						chosen = di
+						break
+					}
+				}
+			}
+			if chosen < 0 {
+				continue // sender exhausted all partners
+			}
+			used[sender][chosen] = true
+			taken[partnerOf(int(sender), chosen)] = true
+			if int(sender) == me {
+				mine = append(mine, chosen)
+			}
+		}
+		sortInts(mine)
+		items[i].partners = mine
+	}
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// roundRobinShare returns how many of the k-d missing replicas fall to
+// the designated rank with index idx among d designated ranks: the count
+// of slots j in [0, k-d) with j mod d == idx.
+func roundRobinShare(k, d, idx int) int {
+	missing := k - d
+	if missing <= 0 || idx >= d {
+		return 0
+	}
+	// Slots idx, idx+d, idx+2d, ... below missing.
+	if idx >= missing {
+		return 0
+	}
+	return (missing - idx + d - 1) / d
+}
+
+// reduceGlobal runs the collective fingerprint reduction: local leaf
+// tables merged pairwise up a binomial tree (HMERGE) and the surviving
+// top-F view broadcast to everyone.
+func reduceGlobal(c collectives.Comm, uniq []chunk.Chunk, o Options, m *metrics.Dump) (*fingerprint.Table, error) {
+	fps := make([]fingerprint.FP, len(uniq))
+	for i, ch := range uniq {
+		fps[i] = ch.FP
+	}
+	local := fingerprint.Local(fps, int32(c.Rank()), o.F, o.K)
+	blob, err := local.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	pre := c.Stats()
+	out, err := collectives.Allreduce(c, blob, mergeTables)
+	if err != nil {
+		return nil, fmt.Errorf("fingerprint allreduce: %w", err)
+	}
+	m.ReductionBytes = c.Stats().BytesSent - pre.BytesSent
+	m.ReductionRounds = ceilLog2(c.Size())
+	global := new(fingerprint.Table)
+	if err := global.UnmarshalBinary(out); err != nil {
+		return nil, fmt.Errorf("decode global view: %w", err)
+	}
+	return global, nil
+}
+
+// mergeTables is the MergeFunc wrapping fingerprint.Table.Merge for the
+// byte-oriented Allreduce.
+func mergeTables(acc, other []byte) ([]byte, error) {
+	var a, b fingerprint.Table
+	if err := a.UnmarshalBinary(acc); err != nil {
+		return nil, err
+	}
+	if err := b.UnmarshalBinary(other); err != nil {
+		return nil, err
+	}
+	a.Merge(&b)
+	return a.MarshalBinary()
+}
+
+// sendLoads builds the paper's Load vector in bytes: Load[0] is the local
+// store load, Load[d] the record bytes sent to partner d. Record framing
+// (4 bytes per chunk) is included so offsets line up with the wire.
+func sendLoads(items []item, k int) []int64 {
+	load := make([]int64, k)
+	for _, it := range items {
+		load[0] += int64(len(it.ch.Data))
+		rec := int64(4 + len(it.ch.Data))
+		for _, d := range it.partners {
+			load[d] += rec
+		}
+	}
+	return load
+}
+
+// encodeRecord frames a chunk for the window: u32 length | payload.
+// Self-describing records let the receiver parse its window sequentially
+// regardless of how sender regions tile it.
+func encodeRecord(data []byte) []byte {
+	rec := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(rec, uint32(len(data)))
+	copy(rec[4:], data)
+	return rec
+}
+
+// commitReceived parses the filled window and stores every chunk,
+// fingerprinting it on arrival (the receiver indexes partner chunks by
+// content, exactly like its own). It returns the stored references for
+// the dataset's reclamation list.
+func commitReceived(store storage.Store, recvBuf []byte, m *metrics.Dump) ([]fingerprint.FP, error) {
+	var refs []fingerprint.FP
+	for cur := 0; cur < len(recvBuf); {
+		if cur+4 > len(recvBuf) {
+			return nil, fmt.Errorf("window record header truncated at offset %d", cur)
+		}
+		size := int(binary.BigEndian.Uint32(recvBuf[cur:]))
+		cur += 4
+		if cur+size > len(recvBuf) {
+			return nil, fmt.Errorf("window record of %d bytes overruns window at offset %d", size, cur)
+		}
+		data := recvBuf[cur : cur+size]
+		cur += size
+		fp := fingerprint.Of(data)
+		if err := store.PutChunk(fp, data); err != nil {
+			return nil, err
+		}
+		refs = append(refs, fp)
+		m.RecvChunks++
+		m.RecvBytes += int64(size)
+	}
+	return refs, nil
+}
+
+// persistMeta stores this rank's RestoreMeta locally and exchanges
+// replicas with the K-1 naive neighbours (rank±d), making the metadata as
+// resilient as the data. Neighbour metadata is stored verbatim.
+func persistMeta(c collectives.Comm, store storage.Store, o Options, recipe chunk.Recipe, hints map[fingerprint.FP][]int32) error {
+	me, n := c.Rank(), c.Size()
+	meta := RestoreMeta{Rank: int32(me), K: int32(o.K), Recipe: recipe, Hints: hints}
+	blob, err := meta.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := store.PutBlob(metaName(o.Name, me), blob); err != nil {
+		return err
+	}
+	for d := 1; d < o.K; d++ {
+		if err := c.Send((me+d)%n, tagMeta, blob); err != nil {
+			return err
+		}
+	}
+	for d := 1; d < o.K; d++ {
+		from := (me - d + n) % n
+		peerBlob, err := c.Recv(from, tagMeta)
+		if err != nil {
+			return err
+		}
+		if err := store.PutBlob(metaName(o.Name, from), peerBlob); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ceilLog2 returns ceil(log2 n) for n >= 1.
+func ceilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}

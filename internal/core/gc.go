@@ -1,0 +1,84 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dedupcr/internal/fingerprint"
+	"dedupcr/internal/storage"
+)
+
+// Checkpoint garbage collection. Every dump records, per node, the exact
+// multiset of chunk references it added to the local store (own kept
+// chunks plus chunks received for partners), so an old dataset can later
+// be forgotten with reference-counting precision: chunks shared with a
+// newer checkpoint — the common case, since consecutive checkpoints
+// overlap heavily — survive, everything else is reclaimed.
+
+// gcName names the blob holding a dataset's local reference list.
+func gcName(dataset string, rank int) string {
+	return fmt.Sprintf("%s/gc-rank%06d", dataset, rank)
+}
+
+// marshalFPs encodes a fingerprint list: u32 count | fingerprints. The
+// header distinguishes an empty dataset's list from a tombstone.
+func marshalFPs(fps []fingerprint.FP) []byte {
+	buf := make([]byte, 0, 4+len(fps)*fingerprint.Size)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(fps)))
+	for _, fp := range fps {
+		buf = append(buf, fp[:]...)
+	}
+	return buf
+}
+
+// unmarshalFPs decodes a fingerprint list.
+func unmarshalFPs(data []byte) ([]fingerprint.FP, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("core: gc list header truncated")
+	}
+	n := int(binary.BigEndian.Uint32(data))
+	data = data[4:]
+	if len(data) != n*fingerprint.Size {
+		return nil, fmt.Errorf("core: gc list has %d bytes for %d entries", len(data), n)
+	}
+	fps := make([]fingerprint.FP, n)
+	for i := range fps {
+		copy(fps[i][:], data[i*fingerprint.Size:])
+	}
+	return fps, nil
+}
+
+// Forget releases this node's storage for a dataset dumped earlier under
+// name: every chunk reference the dump added is dropped, deleting chunks
+// whose count reaches zero, and the dataset's metadata blobs are
+// overwritten with tombstones. Local and non-collective — each node
+// forgets independently; a dataset is fully reclaimed once every node has
+// forgotten it.
+//
+// Forgetting a dataset that was never dumped (or was already forgotten)
+// on this node returns storage.ErrNotFound.
+func Forget(store storage.Store, name string, rank int) error {
+	blob, err := store.GetBlob(gcName(name, rank))
+	if err != nil {
+		return err
+	}
+	if len(blob) == 0 {
+		return fmt.Errorf("forget %q: %w", name, storage.ErrNotFound)
+	}
+	fps, err := unmarshalFPs(blob)
+	if err != nil {
+		return err
+	}
+	for _, fp := range fps {
+		if err := store.ReleaseChunk(fp); err != nil && !errors.Is(err, storage.ErrNotFound) {
+			return fmt.Errorf("forget %q: %w", name, err)
+		}
+	}
+	// Tombstone the reference list and the restore metadata so repeated
+	// forgets fail cleanly and restores stop finding the dataset.
+	if err := store.PutBlob(gcName(name, rank), nil); err != nil {
+		return err
+	}
+	return store.PutBlob(metaName(name, rank), nil)
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"dedupcr/internal/chunk"
+	"dedupcr/internal/fingerprint"
+)
+
+// RestoreMeta is everything a rank needs to rebuild its dataset after a
+// restart: the recipe (ordered fingerprints) and, for chunks that were
+// discarded because other ranks were designated to store them, location
+// hints naming those designated ranks. It is persisted locally and
+// replicated to the K-1 naive neighbour ranks so it survives node loss.
+type RestoreMeta struct {
+	// Rank is the dataset owner.
+	Rank int32
+	// K is the replication factor the dataset was dumped with.
+	K int32
+	// Recipe reassembles the dataset.
+	Recipe chunk.Recipe
+	// Hints maps fingerprints this rank did NOT store locally to the
+	// ranks designated to store them.
+	Hints map[fingerprint.FP][]int32
+}
+
+// metaName is the blob name RestoreMeta is persisted under: one per
+// dataset per owning rank, so a node can hold its own metadata plus the
+// replicas of its neighbours'.
+func metaName(dataset string, rank int) string {
+	return fmt.Sprintf("%s/meta-rank%06d", dataset, rank)
+}
+
+// MarshalBinary encodes the metadata blob (big endian):
+//
+//	u32 rank | u32 K | recipe | u32 nHints | nHints × (FP | u16 n | ranks)
+func (m *RestoreMeta) MarshalBinary() ([]byte, error) {
+	rec, err := m.Recipe.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 8+len(rec)+4+len(m.Hints)*(fingerprint.Size+2+8))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Rank))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.K))
+	buf = append(buf, rec...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Hints)))
+	// Deterministic hint order keeps the encoding reproducible.
+	fps := make([]fingerprint.FP, 0, len(m.Hints))
+	for fp := range m.Hints {
+		fps = append(fps, fp)
+	}
+	sort.Slice(fps, func(i, j int) bool { return fps[i].Less(fps[j]) })
+	for _, fp := range fps {
+		ranks := m.Hints[fp]
+		buf = append(buf, fp[:]...)
+		if len(ranks) > 0xFFFF {
+			return nil, fmt.Errorf("core: hint for %s has %d ranks", fp.Short(), len(ranks))
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(ranks)))
+		for _, r := range ranks {
+			buf = binary.BigEndian.AppendUint32(buf, uint32(r))
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a blob written by MarshalBinary.
+func (m *RestoreMeta) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("core: restore meta truncated (%d bytes)", len(data))
+	}
+	m.Rank = int32(binary.BigEndian.Uint32(data))
+	m.K = int32(binary.BigEndian.Uint32(data[4:]))
+	rec, rest, err := chunk.DecodeRecipe(data[8:])
+	if err != nil {
+		return err
+	}
+	m.Recipe = rec
+	if len(rest) < 4 {
+		return fmt.Errorf("core: restore meta hint header truncated")
+	}
+	n := int(binary.BigEndian.Uint32(rest))
+	rest = rest[4:]
+	m.Hints = make(map[fingerprint.FP][]int32, n)
+	for i := 0; i < n; i++ {
+		if len(rest) < fingerprint.Size+2 {
+			return fmt.Errorf("core: hint %d truncated", i)
+		}
+		var fp fingerprint.FP
+		copy(fp[:], rest[:fingerprint.Size])
+		nr := int(binary.BigEndian.Uint16(rest[fingerprint.Size:]))
+		rest = rest[fingerprint.Size+2:]
+		if len(rest) < 4*nr {
+			return fmt.Errorf("core: hint %d rank list truncated", i)
+		}
+		ranks := make([]int32, nr)
+		for j := range ranks {
+			ranks[j] = int32(binary.BigEndian.Uint32(rest[4*j:]))
+		}
+		rest = rest[4*nr:]
+		m.Hints[fp] = ranks
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("core: %d trailing bytes after restore meta", len(rest))
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"dedupcr/internal/chunk"
+)
+
+// Approach selects the replication strategy, matching the three settings
+// compared throughout the paper's evaluation.
+type Approach int
+
+const (
+	// NoDedup is full replication: every chunk of the dataset is stored
+	// locally and pushed to all K-1 partners ("no-dedup").
+	NoDedup Approach = iota
+	// LocalDedup deduplicates within each rank before storing and
+	// replicating the locally unique chunks ("local-dedup").
+	LocalDedup
+	// CollDedup is the paper's contribution: collective interprocess
+	// deduplication with natural replicas, load-balanced designation,
+	// rank shuffling and single-sided planning ("coll-dedup").
+	CollDedup
+)
+
+// String implements fmt.Stringer using the paper's setting names.
+func (a Approach) String() string {
+	switch a {
+	case NoDedup:
+		return "no-dedup"
+	case LocalDedup:
+		return "local-dedup"
+	case CollDedup:
+		return "coll-dedup"
+	default:
+		return fmt.Sprintf("Approach(%d)", int(a))
+	}
+}
+
+// DefaultF is the fingerprint-count threshold used throughout the paper's
+// evaluation (2^17).
+const DefaultF = 1 << 17
+
+// Options configures a collective dump.
+type Options struct {
+	// K is the replication factor: the dataset survives the loss of any
+	// K-1 nodes. K=1 stores a single local copy.
+	K int
+	// Approach selects the strategy; default NoDedup (zero value) keeps
+	// the baselines explicit in call sites.
+	Approach Approach
+	// F bounds the global fingerprint table of coll-dedup (paper: 2^17).
+	// 0 selects DefaultF; negative means unbounded (exact solution).
+	F int
+	// ChunkSize is the chunk size in bytes; 0 selects 4 KiB, the memory
+	// page size the paper matches chunks with.
+	ChunkSize int
+	// ContentDefined switches from fixed-size to content-defined (Rabin)
+	// chunking with ChunkSize as the expected size — the related-work
+	// alternative, shift-resistant but slower. All ranks must agree.
+	ContentDefined bool
+	// Shuffle enables the load-aware partner selection of Algorithm 2.
+	// Only meaningful for CollDedup (the baselines use naive partners,
+	// as in the paper). Default true for CollDedup via Normalize.
+	Shuffle *bool
+	// Name identifies the dataset (e.g. "ckpt-000123"); recipes are
+	// persisted under it. Empty defaults to "dataset".
+	Name string
+	// Topology, when set, enables rack-aware partner selection (the
+	// paper's future-work extension): the shuffle additionally spreads
+	// each rank's partners across racks. Requires Shuffle.
+	Topology *Topology
+}
+
+// normalized resolves defaults and validates against the group size.
+func (o Options) normalized(groupSize int) (Options, error) {
+	if o.K < 1 {
+		return o, fmt.Errorf("core: replication factor K=%d must be >= 1", o.K)
+	}
+	if o.K > groupSize {
+		return o, fmt.Errorf("core: replication factor K=%d exceeds group size %d", o.K, groupSize)
+	}
+	if o.F == 0 {
+		o.F = DefaultF
+	}
+	if o.F < 0 {
+		o.F = 0 // Table semantics: F <= 0 means unbounded
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = chunk.DefaultSize
+	}
+	if o.Shuffle == nil {
+		on := o.Approach == CollDedup
+		o.Shuffle = &on
+	}
+	if o.Name == "" {
+		o.Name = "dataset"
+	}
+	return o, nil
+}
+
+// Bool is a convenience for filling Options.Shuffle.
+func Bool(v bool) *bool { return &v }

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dedupcr/internal/chunk"
+)
+
+func TestApproachString(t *testing.T) {
+	cases := map[Approach]string{
+		NoDedup:      "no-dedup",
+		LocalDedup:   "local-dedup",
+		CollDedup:    "coll-dedup",
+		Approach(42): "Approach(42)",
+	}
+	for a, want := range cases {
+		if got := a.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(a), got, want)
+		}
+	}
+}
+
+func TestOptionsNormalization(t *testing.T) {
+	o, err := Options{K: 3, Approach: CollDedup}.normalized(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.F != DefaultF {
+		t.Errorf("F default = %d, want %d", o.F, DefaultF)
+	}
+	if o.ChunkSize != chunk.DefaultSize {
+		t.Errorf("ChunkSize default = %d", o.ChunkSize)
+	}
+	if o.Shuffle == nil || !*o.Shuffle {
+		t.Error("coll-dedup must default to shuffling on")
+	}
+	if o.Name != "dataset" {
+		t.Errorf("Name default = %q", o.Name)
+	}
+
+	o, err = Options{K: 2, Approach: LocalDedup}.normalized(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *o.Shuffle {
+		t.Error("baselines must default to shuffling off")
+	}
+
+	// Unbounded F.
+	o, err = Options{K: 1, F: -1}.normalized(4)
+	if err != nil || o.F != 0 {
+		t.Errorf("negative F should map to unbounded (0), got %d (%v)", o.F, err)
+	}
+
+	for _, bad := range []Options{{K: 0}, {K: -3}, {K: 9}} {
+		if _, err := bad.normalized(8); err == nil {
+			t.Errorf("Options %+v accepted", bad)
+		} else if !strings.Contains(err.Error(), "replication factor") {
+			t.Errorf("unexpected error text: %v", err)
+		}
+	}
+}
+
+func TestBoolHelper(t *testing.T) {
+	if v := Bool(true); v == nil || !*v {
+		t.Error("Bool(true) broken")
+	}
+	if v := Bool(false); v == nil || *v {
+		t.Error("Bool(false) broken")
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dedupcr/internal/collectives"
+	"dedupcr/internal/fetch"
+	"dedupcr/internal/fingerprint"
+	"dedupcr/internal/storage"
+)
+
+// fetchClass is the fetch-service protocol class of plain restores.
+const fetchClass fetch.Class = 0
+
+// Restore is the collective inverse of DumpOutput: every rank calls it
+// and receives back the byte-exact buffer it dumped under name. Chunks or
+// metadata missing from the local store (after a node failure and
+// replacement) are pulled from peers: first the designated ranks recorded
+// in the restore hints, then the neighbour metadata replicas, then a
+// linear sweep as a last resort. Recovered chunks are re-stored locally,
+// so a restore also re-provisions a replaced node.
+//
+// Restore succeeds as long as at most K-1 nodes were lost, the guarantee
+// the replication factor buys.
+func Restore(c collectives.Comm, store storage.Store, name string) ([]byte, error) {
+	me := c.Rank()
+	srv := fetch.Serve(c, store, fetchClass)
+
+	meta, err := loadMeta(c, store, name)
+	if err != nil {
+		srv.Stop()
+		return nil, fmt.Errorf("rank %d: %w", me, err)
+	}
+
+	var cached []fingerprint.FP
+	buf, err := meta.Recipe.Assemble(func(fp fingerprint.FP) ([]byte, error) {
+		if data, err := store.GetChunk(fp); err == nil {
+			return data, nil
+		}
+		data, err := fetchChunk(c, meta, fp)
+		if err != nil {
+			return nil, err
+		}
+		// Re-provision the local store with the recovered chunk.
+		if err := store.PutChunk(fp, data); err != nil && !errors.Is(err, storage.ErrFailed) {
+			return nil, err
+		}
+		cached = append(cached, fp)
+		return data, nil
+	})
+	if err != nil {
+		srv.Stop()
+		return nil, fmt.Errorf("rank %d assemble %q: %w", me, name, err)
+	}
+	// The re-provisioned references belong to this dataset: fold them
+	// into its reclamation list so a later Forget releases them too.
+	if len(cached) > 0 {
+		refs := cached
+		if blob, gerr := store.GetBlob(gcName(name, me)); gerr == nil {
+			if prev, perr := unmarshalFPs(blob); perr == nil {
+				refs = append(prev, cached...)
+			}
+		}
+		if err := store.PutBlob(gcName(name, me), marshalFPs(refs)); err != nil && !errors.Is(err, storage.ErrFailed) {
+			srv.Stop()
+			return nil, err
+		}
+	}
+	// Re-persist the metadata locally so future restores are local again.
+	if blob, merr := meta.MarshalBinary(); merr == nil {
+		if err := store.PutBlob(metaName(name, me), blob); err != nil && !errors.Is(err, storage.ErrFailed) {
+			srv.Stop()
+			return nil, err
+		}
+	}
+
+	// All ranks keep serving until everyone has finished assembling.
+	if err := collectives.Barrier(c); err != nil {
+		srv.Stop()
+		return nil, fmt.Errorf("rank %d restore barrier: %w", me, err)
+	}
+	srv.Stop()
+	return buf, nil
+}
+
+// loadMeta retrieves this rank's RestoreMeta: locally if possible,
+// otherwise from the peers holding a replica (the naive neighbours at
+// dump time; unknown K means we sweep outward until found).
+func loadMeta(c collectives.Comm, store storage.Store, name string) (*RestoreMeta, error) {
+	me, n := c.Rank(), c.Size()
+	blobName := metaName(name, me)
+	blob, err := store.GetBlob(blobName)
+	if err != nil {
+		for d := 1; d < n; d++ {
+			peer := (me + d) % n
+			data, ok, rerr := fetch.Blob(c, fetchClass, peer, blobName)
+			if rerr != nil {
+				return nil, rerr
+			}
+			if ok {
+				blob = data
+				break
+			}
+		}
+		if blob == nil {
+			return nil, fmt.Errorf("restore metadata %q unrecoverable", blobName)
+		}
+	}
+	meta := new(RestoreMeta)
+	if err := meta.UnmarshalBinary(blob); err != nil {
+		return nil, fmt.Errorf("decode restore metadata %q: %w", blobName, err)
+	}
+	return meta, nil
+}
+
+// fetchChunk pulls fp from peers: designated ranks first (the hint path),
+// then every other rank.
+func fetchChunk(c collectives.Comm, meta *RestoreMeta, fp fingerprint.FP) ([]byte, error) {
+	me, n := c.Rank(), c.Size()
+	tried := make(map[int]bool, n)
+	tried[me] = true
+	try := func(peer int) ([]byte, bool, error) {
+		if tried[peer] {
+			return nil, false, nil
+		}
+		tried[peer] = true
+		return fetch.Chunk(c, fetchClass, peer, fp)
+	}
+	for _, r := range meta.Hints[fp] {
+		data, ok, err := try(int(r))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return data, nil
+		}
+	}
+	for d := 1; d < n; d++ {
+		data, ok, err := try((me + d) % n)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return data, nil
+		}
+	}
+	return nil, fmt.Errorf("chunk %s lost on all surviving nodes", fp.Short())
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Topology describes where ranks live, for the rack-aware partner
+// selection the paper's conclusion names as future work: replicas are
+// worth more when they land on distinct racks (or failure domains), since
+// rack-level outages then cannot erase all copies of a chunk.
+type Topology struct {
+	// RackOf maps rank -> rack id.
+	RackOf []int
+}
+
+// NewUniformTopology spreads n ranks over racks round-robin style in
+// contiguous blocks, the usual physical placement.
+func NewUniformTopology(n, racks int) Topology {
+	if racks < 1 {
+		racks = 1
+	}
+	per := (n + racks - 1) / racks
+	t := Topology{RackOf: make([]int, n)}
+	for r := 0; r < n; r++ {
+		t.RackOf[r] = r / per
+	}
+	return t
+}
+
+// Racks returns the number of distinct racks.
+func (t Topology) Racks() int {
+	seen := make(map[int]bool)
+	for _, r := range t.RackOf {
+		seen[r] = true
+	}
+	return len(seen)
+}
+
+// Validate checks the topology against a group size.
+func (t Topology) Validate(n int) error {
+	if len(t.RackOf) != n {
+		return fmt.Errorf("core: topology covers %d ranks, group has %d", len(t.RackOf), n)
+	}
+	return nil
+}
+
+// RackAwareShuffle computes a rank permutation that balances receive load
+// like RankShuffle and additionally interleaves racks, so that the K-1
+// partners of each rank (its successors in shuffled order) span as many
+// racks as possible. Determinism: the result is a pure function of the
+// inputs, so all ranks agree without communication.
+//
+// The algorithm processes ranks in the same heavy/light interleaving as
+// Algorithm 2, but at each position prefers, among the next candidates of
+// similar load, one whose rack differs from the previous K-1 placements.
+func RackAwareShuffle(totals []int64, k int, topo Topology) []int {
+	n := len(totals)
+	if topo.Validate(n) != nil || topo.Racks() <= 1 {
+		return RankShuffle(totals, k)
+	}
+	// Candidate order: the plain load-aware shuffle.
+	order := RankShuffle(totals, k)
+	used := make([]bool, n)
+	shuffle := make([]int, 0, n)
+	remaining := make(map[int]int) // rack -> unplaced ranks
+	for _, rack := range topo.RackOf {
+		remaining[rack]++
+	}
+
+	conflicts := func(rank int) bool {
+		// Does rank share a rack with any of the previous k-1 picks?
+		from := len(shuffle) - (k - 1)
+		if from < 0 {
+			from = 0
+		}
+		for _, prev := range shuffle[from:] {
+			if topo.RackOf[prev] == topo.RackOf[rank] {
+				return true
+			}
+		}
+		return false
+	}
+
+	for len(shuffle) < n {
+		// Among conflict-free candidates, take one from the rack with
+		// the most unplaced ranks (ties: load order); draining racks
+		// evenly prevents a single rack's ranks from bunching up at the
+		// end of the permutation. Fall back to plain load order when
+		// every candidate conflicts.
+		picked := -1
+		for _, r := range order {
+			if used[r] || conflicts(r) {
+				continue
+			}
+			if picked < 0 || remaining[topo.RackOf[r]] > remaining[topo.RackOf[picked]] {
+				picked = r
+			}
+		}
+		if picked < 0 {
+			for _, r := range order {
+				if !used[r] {
+					picked = r
+					break
+				}
+			}
+		}
+		used[picked] = true
+		remaining[topo.RackOf[picked]]--
+		shuffle = append(shuffle, picked)
+	}
+	return shuffle
+}
+
+// RackSpread evaluates a plan against a topology: for every rank it
+// counts the distinct racks covered by the rank and its K-1 partners,
+// returning the minimum and mean. Higher is better; a minimum of K means
+// every replica set is fully rack-diverse.
+func RackSpread(p *Plan, topo Topology) (min int, mean float64) {
+	n := len(p.Shuffle)
+	if topo.Validate(n) != nil {
+		return 0, 0
+	}
+	var sum int
+	for r := 0; r < n; r++ {
+		racks := map[int]bool{topo.RackOf[r]: true}
+		for _, partner := range p.Partners(r) {
+			racks[topo.RackOf[partner]] = true
+		}
+		if r == 0 || len(racks) < min {
+			min = len(racks)
+		}
+		sum += len(racks)
+	}
+	return min, float64(sum) / float64(n)
+}
+
+// sortRanksByLoad returns rank ids ordered by descending load with rank
+// id as the deterministic tie-breaker (shared helper for shuffles).
+func sortRanksByLoad(totals []int64) []int {
+	idx := make([]int, len(totals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if totals[idx[a]] != totals[idx[b]] {
+			return totals[idx[a]] > totals[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dedupcr/internal/collectives"
+	"dedupcr/internal/storage"
+)
+
+func TestUniformTopology(t *testing.T) {
+	topo := NewUniformTopology(12, 4)
+	if got := topo.Racks(); got != 4 {
+		t.Fatalf("Racks = %d, want 4", got)
+	}
+	if topo.RackOf[0] != 0 || topo.RackOf[11] != 3 {
+		t.Fatalf("rack layout %v", topo.RackOf)
+	}
+	if err := topo.Validate(12); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Validate(13); err == nil {
+		t.Fatal("validated wrong group size")
+	}
+}
+
+func TestRackAwareShuffleIsPermutation(t *testing.T) {
+	check := func(seed int64, kRaw, nRaw, racksRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%30) + 1
+		k := int(kRaw)%n + 1
+		racks := int(racksRaw%6) + 1
+		totals := make([]int64, n)
+		for i := range totals {
+			totals[i] = int64(rng.Intn(100))
+		}
+		s := RackAwareShuffle(totals, k, NewUniformTopology(n, racks))
+		seen := make([]bool, n)
+		for _, r := range s {
+			if r < 0 || r >= n || seen[r] {
+				return false
+			}
+			seen[r] = true
+		}
+		return len(s) == n
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRackAwareShuffleSpreadsRacks(t *testing.T) {
+	// 16 ranks over 4 racks, K=3: every replica set should span 3
+	// distinct racks, which the plain shuffle does not guarantee.
+	const n, k, racks = 16, 3, 4
+	topo := NewUniformTopology(n, racks)
+	totals := make([]int64, n) // uniform loads: pure rack effect
+	sendLoad := make([][]int64, n)
+	for r := range sendLoad {
+		sendLoad[r] = make([]int64, k)
+		sendLoad[r][1], sendLoad[r][2] = 10, 10
+	}
+
+	aware, err := NewPlan(RackAwareShuffle(totals, k, topo), sendLoad, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minSpread, meanSpread := RackSpread(aware, topo)
+	if minSpread < k {
+		t.Errorf("rack-aware: min rack spread = %d, want %d", minSpread, k)
+	}
+	if meanSpread < float64(k) {
+		t.Errorf("rack-aware: mean rack spread = %.2f, want %d", meanSpread, k)
+	}
+
+	// The identity plan keeps neighbours (same rack) as partners: spread
+	// must be visibly worse.
+	naive, err := NewPlan(IdentityShuffle(n), sendLoad, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveMin, _ := RackSpread(naive, topo)
+	if naiveMin >= k {
+		t.Skip("identity plan accidentally rack-diverse; cannot compare")
+	}
+	if minSpread <= naiveMin {
+		t.Errorf("rack-aware min spread %d not better than naive %d", minSpread, naiveMin)
+	}
+}
+
+func TestRackAwareFallsBackToLoadShuffle(t *testing.T) {
+	totals := []int64{100, 100, 10, 10, 10, 10}
+	single := NewUniformTopology(6, 1)
+	a := RackAwareShuffle(totals, 3, single)
+	b := RankShuffle(totals, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("single-rack topology must reduce to the plain shuffle")
+		}
+	}
+}
+
+func TestRackAwareShuffleDeterministic(t *testing.T) {
+	totals := []int64{5, 9, 1, 7, 3, 3, 9, 2}
+	topo := NewUniformTopology(8, 3)
+	a := RackAwareShuffle(totals, 3, topo)
+	b := RackAwareShuffle(totals, 3, topo)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("rack-aware shuffle not deterministic")
+		}
+	}
+}
+
+func TestDumpWithTopologyEndToEnd(t *testing.T) {
+	const n, k = 12, 3
+	topo := NewUniformTopology(n, 4)
+	cluster := storage.NewCluster(n)
+	buffers := make([][]byte, n)
+	plans := make([]*Plan, n)
+	var mu sync.Mutex
+	err := collectives.Run(n, func(c collectives.Comm) error {
+		buf := testBuffer(c.Rank(), 6, 4, 3, 2)
+		o := Options{K: k, Approach: CollDedup, ChunkSize: testPage,
+			Name: "ck", Topology: &topo}
+		res, err := DumpOutput(c, cluster.Node(c.Rank()), buf, o)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		buffers[c.Rank()] = buf
+		plans[c.Rank()] = res.Plan
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All ranks agreed on one plan, and it is rack diverse.
+	for r := 1; r < n; r++ {
+		for i := range plans[0].Shuffle {
+			if plans[r].Shuffle[i] != plans[0].Shuffle[i] {
+				t.Fatalf("rank %d disagrees on the rack-aware shuffle", r)
+			}
+		}
+	}
+	minSpread, _ := RackSpread(plans[0], topo)
+	if minSpread < k {
+		t.Errorf("min rack spread = %d, want %d", minSpread, k)
+	}
+	// Restore still works.
+	err = collectives.Run(n, func(c collectives.Comm) error {
+		got, err := Restore(c, cluster.Node(c.Rank()), "ck")
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, buffers[c.Rank()]) {
+			return fmt.Errorf("rank %d restore mismatch", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+// Package erasure implements Reed-Solomon erasure coding over GF(2^8).
+// The paper's conclusion names erasure codes as the natural companion to
+// its scheme: chunks that are not naturally duplicated to a sufficient
+// degree can be protected by parity instead of full replicas, trading
+// bandwidth for reconstruction cost. This package provides the encoder/
+// decoder used by the hybrid-protection example and the ablation bench.
+package erasure
+
+// GF(2^8) arithmetic with the 0x11D (AES-unrelated, storage-standard)
+// primitive polynomial, via log/exp tables.
+
+const gfPoly = 0x11D
+
+var (
+	gfExp [512]byte // doubled to skip mod 255 in mul
+	gfLog [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfMul multiplies in GF(2^8).
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfDiv divides in GF(2^8); b must be non-zero.
+func gfDiv(a, b byte) byte {
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// gfInv inverts in GF(2^8); a must be non-zero.
+func gfInv(a byte) byte {
+	return gfExp[255-int(gfLog[a])]
+}
+
+// gfExpPow returns alpha^n.
+func gfExpPow(n int) byte {
+	return gfExp[n%255]
+}
+
+// mulSlice computes dst ^= c * src for whole slices.
+func mulSliceXor(c byte, src, dst []byte) {
+	if c == 0 {
+		return
+	}
+	logC := int(gfLog[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= gfExp[logC+int(gfLog[s])]
+		}
+	}
+}
+
+// mulSliceSet computes dst = c * src.
+func mulSliceSet(c byte, src, dst []byte) {
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	logC := int(gfLog[c])
+	for i, s := range src {
+		if s == 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = gfExp[logC+int(gfLog[s])]
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package erasure
+
+import "fmt"
+
+// Coder is a systematic Reed-Solomon coder with D data shards and P
+// parity shards: any D of the D+P shards reconstruct the original data.
+// The encoding matrix is a Vandermonde-derived systematic matrix, the
+// standard construction for storage codes.
+type Coder struct {
+	D, P   int
+	matrix [][]byte // (D+P) x D; top D rows form the identity
+}
+
+// New creates a coder for d data and p parity shards. d+p must not
+// exceed 256 (the field size).
+func New(d, p int) (*Coder, error) {
+	if d < 1 || p < 0 || d+p > 256 {
+		return nil, fmt.Errorf("erasure: invalid geometry d=%d p=%d", d, p)
+	}
+	// Build a (d+p) x d Vandermonde matrix and normalize its top d rows
+	// to the identity by column operations, yielding a systematic code.
+	v := make([][]byte, d+p)
+	for r := range v {
+		v[r] = make([]byte, d)
+		for c := 0; c < d; c++ {
+			// alpha^(r*c)
+			if r == 0 || c == 0 {
+				v[r][c] = 1
+			} else {
+				v[r][c] = gfExpPow(r * c)
+			}
+		}
+	}
+	// Gauss-Jordan on the top square: apply the same column operations
+	// to the whole matrix.
+	for col := 0; col < d; col++ {
+		// Ensure pivot non-zero: Vandermonde top square is invertible,
+		// but column swaps may still be needed after prior eliminations.
+		if v[col][col] == 0 {
+			for c2 := col + 1; c2 < d; c2++ {
+				if v[col][c2] != 0 {
+					for r := range v {
+						v[r][col], v[r][c2] = v[r][c2], v[r][col]
+					}
+					break
+				}
+			}
+		}
+		piv := v[col][col]
+		if piv == 0 {
+			return nil, fmt.Errorf("erasure: singular Vandermonde (d=%d p=%d)", d, p)
+		}
+		inv := gfInv(piv)
+		for r := range v {
+			v[r][col] = gfMul(v[r][col], inv)
+		}
+		for c2 := 0; c2 < d; c2++ {
+			if c2 == col || v[col][c2] == 0 {
+				continue
+			}
+			f := v[col][c2]
+			for r := range v {
+				v[r][c2] ^= gfMul(f, v[r][col])
+			}
+		}
+	}
+	return &Coder{D: d, P: p, matrix: v}, nil
+}
+
+// Encode computes the p parity shards for d equal-length data shards.
+func (c *Coder) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.D {
+		return nil, fmt.Errorf("erasure: got %d data shards, want %d", len(data), c.D)
+	}
+	size := len(data[0])
+	for i, s := range data {
+		if len(s) != size {
+			return nil, fmt.Errorf("erasure: shard %d has %d bytes, want %d", i, len(s), size)
+		}
+	}
+	parity := make([][]byte, c.P)
+	for p := 0; p < c.P; p++ {
+		parity[p] = make([]byte, size)
+		row := c.matrix[c.D+p]
+		for dIdx := 0; dIdx < c.D; dIdx++ {
+			mulSliceXor(row[dIdx], data[dIdx], parity[p])
+		}
+	}
+	return parity, nil
+}
+
+// Reconstruct fills in the nil entries of shards (length D+P: data shards
+// first, then parity) as long as at least D shards are present. Present
+// shards must all have equal length.
+func (c *Coder) Reconstruct(shards [][]byte) error {
+	if len(shards) != c.D+c.P {
+		return fmt.Errorf("erasure: got %d shards, want %d", len(shards), c.D+c.P)
+	}
+	var present []int
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return fmt.Errorf("erasure: shard %d has %d bytes, want %d", i, len(s), size)
+		}
+		present = append(present, i)
+	}
+	if len(present) < c.D {
+		return fmt.Errorf("erasure: only %d shards present, need %d", len(present), c.D)
+	}
+	// Fast path: all data shards present — recompute parity only.
+	missingData := false
+	for i := 0; i < c.D; i++ {
+		if shards[i] == nil {
+			missingData = true
+			break
+		}
+	}
+	if !missingData {
+		parity, err := c.Encode(shards[:c.D])
+		if err != nil {
+			return err
+		}
+		for p := 0; p < c.P; p++ {
+			if shards[c.D+p] == nil {
+				shards[c.D+p] = parity[p]
+			}
+		}
+		return nil
+	}
+	// General path: pick D present shards, invert their sub-matrix, and
+	// multiply to recover the data shards.
+	sub := make([][]byte, c.D)
+	src := make([][]byte, c.D)
+	for i := 0; i < c.D; i++ {
+		idx := present[i]
+		sub[i] = append([]byte(nil), c.matrix[idx]...)
+		src[i] = shards[idx]
+	}
+	inv, err := invertMatrix(sub)
+	if err != nil {
+		return err
+	}
+	for dIdx := 0; dIdx < c.D; dIdx++ {
+		if shards[dIdx] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		for j := 0; j < c.D; j++ {
+			mulSliceXor(inv[dIdx][j], src[j], out)
+		}
+		shards[dIdx] = out
+	}
+	// Recompute any missing parity from the now-complete data.
+	for p := 0; p < c.P; p++ {
+		if shards[c.D+p] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		row := c.matrix[c.D+p]
+		for dIdx := 0; dIdx < c.D; dIdx++ {
+			mulSliceXor(row[dIdx], shards[dIdx], out)
+		}
+		shards[c.D+p] = out
+	}
+	return nil
+}
+
+// invertMatrix inverts a square GF(256) matrix via Gauss-Jordan.
+func invertMatrix(m [][]byte) ([][]byte, error) {
+	n := len(m)
+	// Augment with identity.
+	aug := make([][]byte, n)
+	for i := range aug {
+		aug[i] = make([]byte, 2*n)
+		copy(aug[i], m[i])
+		aug[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if aug[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("erasure: singular decode matrix")
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		inv := gfInv(aug[col][col])
+		for c := 0; c < 2*n; c++ {
+			aug[col][c] = gfMul(aug[col][c], inv)
+		}
+		for r := 0; r < n; r++ {
+			if r == col || aug[r][col] == 0 {
+				continue
+			}
+			f := aug[r][col]
+			for c := 0; c < 2*n; c++ {
+				aug[r][c] ^= gfMul(f, aug[col][c])
+			}
+		}
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = aug[i][n:]
+	}
+	return out, nil
+}
+
+// SplitShards cuts data into d equal shards (zero-padding the tail) for
+// encoding; Join reverses it given the original length.
+func SplitShards(data []byte, d int) [][]byte {
+	shardLen := (len(data) + d - 1) / d
+	if shardLen == 0 {
+		shardLen = 1
+	}
+	shards := make([][]byte, d)
+	for i := range shards {
+		shards[i] = make([]byte, shardLen)
+		start := i * shardLen
+		if start < len(data) {
+			copy(shards[i], data[start:])
+		}
+	}
+	return shards
+}
+
+// Join reassembles data split by SplitShards.
+func Join(shards [][]byte, originalLen int) []byte {
+	var out []byte
+	for _, s := range shards {
+		out = append(out, s...)
+	}
+	if originalLen > len(out) {
+		originalLen = len(out)
+	}
+	return out[:originalLen]
+}

@@ -1,0 +1,199 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGFFieldAxioms(t *testing.T) {
+	check := func(a, b, c byte) bool {
+		// Commutativity and associativity of mul, distributivity over xor.
+		if gfMul(a, b) != gfMul(b, a) {
+			return false
+		}
+		if gfMul(gfMul(a, b), c) != gfMul(a, gfMul(b, c)) {
+			return false
+		}
+		if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGFInverse(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if got := gfMul(byte(a), gfInv(byte(a))); got != 1 {
+			t.Fatalf("a * a^-1 = %d for a=%d", got, a)
+		}
+		if got := gfDiv(gfMul(byte(a), 7), 7); got != byte(a) {
+			t.Fatalf("div(mul(a,7),7) = %d for a=%d", got, a)
+		}
+	}
+}
+
+func TestEncodeReconstructAllErasurePatterns(t *testing.T) {
+	const d, p, size = 4, 3, 128
+	coder, err := New(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	data := make([][]byte, d)
+	for i := range data {
+		data[i] = make([]byte, size)
+		rng.Read(data[i])
+	}
+	parity, err := coder.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Erase every subset of up to p shards and reconstruct.
+	total := d + p
+	for mask := 0; mask < 1<<total; mask++ {
+		erased := 0
+		for i := 0; i < total; i++ {
+			if mask&(1<<i) != 0 {
+				erased++
+			}
+		}
+		if erased == 0 || erased > p {
+			continue
+		}
+		shards := make([][]byte, total)
+		for i := 0; i < d; i++ {
+			if mask&(1<<i) == 0 {
+				shards[i] = append([]byte(nil), data[i]...)
+			}
+		}
+		for i := 0; i < p; i++ {
+			if mask&(1<<(d+i)) == 0 {
+				shards[d+i] = append([]byte(nil), parity[i]...)
+			}
+		}
+		if err := coder.Reconstruct(shards); err != nil {
+			t.Fatalf("mask %b: %v", mask, err)
+		}
+		for i := 0; i < d; i++ {
+			if !bytes.Equal(shards[i], data[i]) {
+				t.Fatalf("mask %b: data shard %d wrong after reconstruction", mask, i)
+			}
+		}
+		for i := 0; i < p; i++ {
+			if !bytes.Equal(shards[d+i], parity[i]) {
+				t.Fatalf("mask %b: parity shard %d wrong after reconstruction", mask, i)
+			}
+		}
+	}
+}
+
+func TestReconstructFailsBeyondP(t *testing.T) {
+	coder, err := New(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([][]byte, 5)
+	shards[0] = make([]byte, 8)
+	shards[1] = make([]byte, 8)
+	if err := coder.Reconstruct(shards); err == nil {
+		t.Fatal("reconstructed from fewer than D shards")
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Error("accepted d=0")
+	}
+	if _, err := New(200, 100); err == nil {
+		t.Error("accepted d+p > 256")
+	}
+	if _, err := New(1, 0); err != nil {
+		t.Errorf("rejected trivial geometry: %v", err)
+	}
+}
+
+func TestEncodeValidatesShards(t *testing.T) {
+	coder, _ := New(2, 1)
+	if _, err := coder.Encode([][]byte{{1}}); err == nil {
+		t.Error("accepted wrong shard count")
+	}
+	if _, err := coder.Encode([][]byte{{1, 2}, {3}}); err == nil {
+		t.Error("accepted ragged shards")
+	}
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	check := func(seed int64, dRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := int(dRaw%8) + 1
+		data := make([]byte, rng.Intn(1000))
+		rng.Read(data)
+		shards := SplitShards(data, d)
+		if len(shards) != d {
+			return false
+		}
+		return bytes.Equal(Join(shards, len(data)), data)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndToEndProtectChunk(t *testing.T) {
+	// The hybrid-protection flow: split a 4 KiB chunk into 6+2, lose any
+	// 2 shards, recover the chunk.
+	coder, err := New(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunkData := make([]byte, 4096)
+	rand.New(rand.NewSource(9)).Read(chunkData)
+	data := SplitShards(chunkData, 6)
+	parity, err := coder.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := append(append([][]byte{}, data...), parity...)
+	shards[1], shards[6] = nil, nil
+	if err := coder.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(Join(shards[:6], 4096), chunkData) {
+		t.Fatal("chunk not recovered")
+	}
+}
+
+func BenchmarkEncode4KiB(b *testing.B) {
+	coder, _ := New(6, 2)
+	data := SplitShards(make([]byte, 4096), 6)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coder.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstruct4KiB(b *testing.B) {
+	coder, _ := New(6, 2)
+	chunkData := make([]byte, 4096)
+	rand.New(rand.NewSource(3)).Read(chunkData)
+	data := SplitShards(chunkData, 6)
+	parity, _ := coder.Encode(data)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shards := append(append([][]byte{}, data...), parity...)
+		shards[0], shards[3] = nil, nil
+		if err := coder.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Section V): Figure 3(a)-(c), Table I, Figures
+// 4(a)-(c) and 5(a)-(c). Each experiment runs the real pipeline — the
+// mini-apps produce checkpoint images, DumpOutput moves real bytes
+// through the collectives — and feeds the measured per-rank counters into
+// the netsim performance model to obtain simulated Shamrock seconds.
+//
+// Scale: rank counts are the paper's; per-rank data is linearly scaled
+// down ~1000× (see the app packages) and netsim's Scale factor maps the
+// measured bytes back to testbed magnitudes.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is a rendered experiment result: the same rows/series the paper
+// reports, plus notes on scaling and expectations.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table for terminal output.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}
+
+// Config tunes an experiment run.
+type Config struct {
+	// Quick shrinks rank counts (CI-friendly); the full settings use the
+	// paper's process counts up to 408.
+	Quick bool
+	// Verbose prints progress to stderr.
+	Verbose bool
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) (*Table, error)
+}
+
+// Registry lists every reproducible artifact by id.
+var Registry = []Experiment{
+	{"fig3a", "Total size of unique content (Figure 3a)", Fig3a},
+	{"fig3b", "HPCCG: overhead of collective hash reduction (Figure 3b)", Fig3b},
+	{"fig3c", "CM1: overhead of collective hash reduction (Figure 3c)", Fig3c},
+	{"table1", "Completion time with replication factor 3 (Table I)", Table1},
+	{"fig4a", "HPCCG: increase in execution time vs replication factor (Figure 4a)", Fig4a},
+	{"fig4b", "HPCCG: replicated data per process vs replication factor (Figure 4b)", Fig4b},
+	{"fig4c", "HPCCG: impact of rank shuffling (Figure 4c)", Fig4c},
+	{"fig5a", "CM1: increase in execution time vs replication factor (Figure 5a)", Fig5a},
+	{"fig5b", "CM1: replicated data per process vs replication factor (Figure 5b)", Fig5b},
+	{"fig5c", "CM1: impact of rank shuffling (Figure 5c)", Fig5c},
+	// Beyond the paper: ablations of the design choices.
+	{"ablation-shuffle", "Ablation: partner-selection strategies (beyond paper)", AblationShuffle},
+	{"ablation-restore", "Ablation: restore cost vs node failures (beyond paper)", AblationRestore},
+	{"ablation-hybrid", "Ablation: replication vs dedup+erasure hybrid (beyond paper)", AblationHybrid},
+	{"ablation-pfs", "Ablation: PFS vs local-storage checkpointing (beyond paper)", AblationPFS},
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, len(Registry))
+	for i, e := range Registry {
+		out[i] = e.ID
+	}
+	sort.Strings(out)
+	return out
+}

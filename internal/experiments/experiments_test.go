@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"dedupcr/internal/core"
+)
+
+func quickCfg() Config { return Config{Quick: true} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig3a", "fig3b", "fig3c", "table1", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "fig5c",
+		"ablation-shuffle", "ablation-restore", "ablation-hybrid", "ablation-pfs"}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(Registry) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(Registry), len(want))
+	}
+	if got := len(IDs()); got != len(want) {
+		t.Errorf("IDs() returned %d, want %d", got, len(want))
+	}
+}
+
+func TestBaselineInterpolation(t *testing.T) {
+	w := HPCCG()
+	if got := w.BaselineAt(408); got != 279 {
+		t.Errorf("BaselineAt(408) = %v, want exact 279", got)
+	}
+	mid := w.BaselineAt(130)
+	if mid <= 152 || mid >= 186 {
+		t.Errorf("BaselineAt(130) = %v, want within (152, 186)", mid)
+	}
+	if got := w.BaselineAt(1000); got != 279 {
+		t.Errorf("BaselineAt beyond range = %v, want flat 279", got)
+	}
+	if got := w.BaselineAt(0); got != 82 {
+		t.Errorf("BaselineAt below range = %v, want flat 82", got)
+	}
+}
+
+// parseSeconds extracts a leading float from a "123s" cell.
+func parseSeconds(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "s"), 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestFig3aShape(t *testing.T) {
+	tab, err := Fig3a(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("fig3a has %d rows, want 4", len(tab.Rows))
+	}
+	// The percentage columns must show coll < local strictly.
+	for _, row := range tab.Rows {
+		local := strings.TrimSuffix(row[4], "%")
+		coll := strings.TrimSuffix(row[5], "%")
+		lv, err1 := strconv.ParseFloat(local, 64)
+		cv, err2 := strconv.ParseFloat(coll, 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("row %v: bad percentages", row)
+		}
+		if cv >= lv {
+			t.Errorf("%s: coll-dedup %.1f%% not below local-dedup %.1f%%", row[0], cv, lv)
+		}
+		if lv >= 100 {
+			t.Errorf("%s: local-dedup found no redundancy (%.1f%%)", row[0], lv)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	tab, err := Table1(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		n, _ := strconv.Atoi(row[1])
+		no := parseSeconds(t, row[2])
+		local := parseSeconds(t, row[3])
+		coll := parseSeconds(t, row[4])
+		base := parseSeconds(t, row[5])
+		if n < 4 {
+			continue // degenerate group sizes carry no dedup signal
+		}
+		if !(coll <= local && local <= no) {
+			t.Errorf("%s N=%d: ordering violated: no=%g local=%g coll=%g", row[0], n, no, local, coll)
+		}
+		if coll < base {
+			t.Errorf("%s N=%d: coll-dedup %g below baseline %g", row[0], n, coll, base)
+		}
+	}
+}
+
+func TestFig3bShape(t *testing.T) {
+	tab, err := Fig3b(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 2 {
+		t.Fatal("too few rows")
+	}
+	// Reduction overhead must grow with the process count and stay
+	// nearly flat in K (within 2x across the K columns of one row).
+	var prev float64
+	for i, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("row %v: %v", row, err)
+		}
+		if i > 0 && v < prev {
+			t.Errorf("overhead decreased with scale: %g after %g", v, prev)
+		}
+		prev = v
+		var lo, hi float64
+		for c := 1; c < len(row); c++ {
+			if row[c] == "n/a" {
+				continue
+			}
+			kv, err := strconv.ParseFloat(row[c], 64)
+			if err != nil {
+				t.Fatalf("row %v col %d: %v", row, c, err)
+			}
+			if lo == 0 || kv < lo {
+				lo = kv
+			}
+			if kv > hi {
+				hi = kv
+			}
+		}
+		if hi > 2*lo {
+			t.Errorf("N=%s: overhead varies %gx across K; paper says nearly flat", row[0], hi/lo)
+		}
+	}
+}
+
+func TestFig5cShuffleNeverHurts(t *testing.T) {
+	tab, err := Fig5c(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		red, err := strconv.ParseFloat(strings.TrimSuffix(row[3], "%"), 64)
+		if err != nil {
+			t.Fatalf("row %v: %v", row, err)
+		}
+		if red < -1e-9 {
+			t.Errorf("K=%s: shuffling worsened max receive size by %.1f%%", row[0], -red)
+		}
+	}
+}
+
+func TestFig4aShape(t *testing.T) {
+	tab, err := Fig4a(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// no-dedup must degrade with K; coll-dedup must grow much slower.
+	first := tab.Rows[0]
+	last := tab.Rows[len(tab.Rows)-1]
+	noGrowth := parseSeconds(t, last[1]) / parseSeconds(t, first[1])
+	collGrowth := parseSeconds(t, last[3]) / parseSeconds(t, first[3])
+	if noGrowth < 1.5 {
+		t.Errorf("no-dedup grew only %.2fx from K=1 to K=max; expected strong degradation", noGrowth)
+	}
+	if collGrowth > noGrowth {
+		t.Errorf("coll-dedup grew faster (%.2fx) than no-dedup (%.2fx)", collGrowth, noGrowth)
+	}
+	// At max K, coll-dedup must win.
+	if parseSeconds(t, last[3]) >= parseSeconds(t, last[1]) {
+		t.Errorf("coll-dedup (%s) not faster than no-dedup (%s) at max K", last[3], last[1])
+	}
+}
+
+func TestFig4cShape(t *testing.T) {
+	tab, err := Fig4c(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		red := strings.TrimSuffix(row[3], "%")
+		v, err := strconv.ParseFloat(red, 64)
+		if err != nil {
+			t.Fatalf("row %v: bad reduction cell", row)
+		}
+		if v < -1e-9 {
+			t.Errorf("K=%s: shuffling increased max receive size by %.1f%%", row[0], -v)
+		}
+	}
+}
+
+func TestFig5bShowsSkew(t *testing.T) {
+	tab, err := Fig5b(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// coll-dedup's max must exceed its avg at the largest K (imbalance).
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[5] == last[6] {
+		t.Logf("warning: coll avg == coll max at K=%s (no visible imbalance at quick scale)", last[0])
+	}
+}
+
+func TestRunScenarioConsistency(t *testing.T) {
+	res, err := RunScenario(CM1(), 8, 3, core.CollDedup, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dumps) != CM1().Checkpoints {
+		t.Fatalf("got %d checkpoints, want %d", len(res.Dumps), CM1().Checkpoints)
+	}
+	if res.CheckpointTime() <= 0 {
+		t.Error("checkpoint time must be positive")
+	}
+	if res.CompletionTime() <= res.Workload.BaselineAt(8) {
+		t.Error("completion must exceed baseline")
+	}
+	if res.UniqueContentBytes() <= 0 {
+		t.Error("unique content must be positive")
+	}
+	if got := len(res.SentBytesPerRank()); got != 8 {
+		t.Errorf("SentBytesPerRank has %d entries, want 8", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:     "x",
+		Title:  "t",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"note"},
+	}
+	out := tab.Render()
+	for _, want := range []string{"== x: t ==", "a", "bb", "# note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

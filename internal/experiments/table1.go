@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dedupcr/internal/core"
+)
+
+// Table1 reproduces Table I: completion time of full application runs
+// with a replication factor of 3 under the three approaches, against the
+// no-checkpoint baseline, for the paper's process counts.
+func Table1(cfg Config) (*Table, error) {
+	type block struct {
+		w  Workload
+		ns []int
+	}
+	blocks := []block{
+		{HPCCG(), []int{1, 64, 196, 408}},
+		{CM1(), []int{12, 120, 264, 408}},
+	}
+	if cfg.Quick {
+		blocks = []block{
+			{HPCCG(), []int{1, 8, 16}},
+			{CM1(), []int{4, 8, 16}},
+		}
+	}
+	t := &Table{
+		ID:     "table1",
+		Title:  "Completion time using a replication factor of 3 (baseline = no checkpointing)",
+		Header: []string{"workload", "# of processes", "no-dedup", "local-dedup", "coll-dedup", "baseline"},
+		Notes: []string{
+			"paper at 408: HPCCG 1188s / 547s / 375s / 279s; CM1 1687s / 828s / 558s / 382s",
+			"expected shape: coll-dedup 2.5-2.8x faster than local-dedup, 7.4-9.8x faster than no-dedup (overheads over baseline)",
+			"baseline times are the paper's measurements, used as the application-duration parameter",
+		},
+	}
+	for _, bl := range blocks {
+		for _, n := range bl.ns {
+			k := 3
+			if k > n {
+				k = n
+			}
+			row := []string{bl.w.Name, fmt.Sprintf("%d", n)}
+			for _, ap := range []core.Approach{core.NoDedup, core.LocalDedup, core.CollDedup} {
+				res, err := RunScenario(bl.w, n, k, ap, ap == core.CollDedup, cfg.Verbose)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.0fs", res.CompletionTime()))
+			}
+			row = append(row, fmt.Sprintf("%.0fs", bl.w.BaselineAt(n)))
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,140 @@
+// Package fetch is the peer fetch service used during restores: while a
+// collective restore runs, every rank serves chunk and blob requests so
+// peers can pull data their own (possibly replaced) local store no longer
+// holds. Multiple protocols can coexist by using distinct classes (the
+// plain restore and the hybrid erasure restore use different ones).
+package fetch
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dedupcr/internal/collectives"
+	"dedupcr/internal/fingerprint"
+	"dedupcr/internal/storage"
+)
+
+// Request frame:  u8 op | u32 requester | payload
+// Reply frame:    u8 found | payload
+const (
+	opStop  = 0
+	opBlob  = 1
+	opChunk = 2
+)
+
+// Class separates independent fetch protocols' tag spaces.
+type Class uint32
+
+// Tags: requests of a class share one wildcard tag; replies are
+// per-requester.
+func (cl Class) reqTag() collectives.Tag {
+	return collectives.WildcardTag(uint32(cl) << 19)
+}
+
+func (cl Class) replyTag(rank int) collectives.Tag {
+	return collectives.WildcardTag(uint32(cl)<<19 + 1 + uint32(rank))
+}
+
+// Server answers fetch requests from the local store until stopped.
+type Server struct {
+	comm  collectives.Comm
+	class Class
+	done  chan struct{}
+}
+
+// Serve starts answering chunk/blob requests against store. Failures of
+// the local store are reported to requesters as "not found", so they move
+// on to the next replica.
+func Serve(c collectives.Comm, store storage.Store, class Class) *Server {
+	s := &Server{comm: c, class: class, done: make(chan struct{})}
+	go s.loop(store)
+	return s
+}
+
+// Stop shuts the server down. It must be called only after all peers have
+// stopped issuing requests (a barrier), and blocks until the serving
+// goroutine exits.
+func (s *Server) Stop() {
+	poison := []byte{opStop, 0, 0, 0, 0}
+	if err := s.comm.Send(s.comm.Rank(), s.class.reqTag(), poison); err != nil {
+		return // communicator closed; loop already exited
+	}
+	<-s.done
+}
+
+func (s *Server) loop(store storage.Store) {
+	defer close(s.done)
+	for {
+		req, err := s.comm.Recv(collectives.AnyRank, s.class.reqTag())
+		if err != nil {
+			return // communicator closed
+		}
+		if len(req) < 5 {
+			continue
+		}
+		op := req[0]
+		requester := int(binary.BigEndian.Uint32(req[1:]))
+		payload := req[5:]
+		if op == opStop {
+			return
+		}
+		var (
+			data  []byte
+			found bool
+		)
+		switch op {
+		case opBlob:
+			if b, err := store.GetBlob(string(payload)); err == nil {
+				data, found = b, true
+			}
+		case opChunk:
+			var fp fingerprint.FP
+			if len(payload) == fingerprint.Size {
+				copy(fp[:], payload)
+				if b, err := store.GetChunk(fp); err == nil {
+					data, found = b, true
+				}
+			}
+		}
+		reply := make([]byte, 1+len(data))
+		if found {
+			reply[0] = 1
+		}
+		copy(reply[1:], data)
+		if requester >= 0 && requester < s.comm.Size() {
+			if err := s.comm.Send(requester, s.class.replyTag(requester), reply); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// call performs one synchronous request to peer.
+func call(c collectives.Comm, class Class, peer int, op byte, payload []byte) ([]byte, bool, error) {
+	req := make([]byte, 5+len(payload))
+	req[0] = op
+	binary.BigEndian.PutUint32(req[1:], uint32(c.Rank()))
+	copy(req[5:], payload)
+	if err := c.Send(peer, class.reqTag(), req); err != nil {
+		return nil, false, fmt.Errorf("fetch: request to rank %d: %w", peer, err)
+	}
+	reply, err := c.Recv(collectives.AnyRank, class.replyTag(c.Rank()))
+	if err != nil {
+		return nil, false, fmt.Errorf("fetch: reply from rank %d: %w", peer, err)
+	}
+	if len(reply) < 1 {
+		return nil, false, fmt.Errorf("fetch: malformed reply from rank %d", peer)
+	}
+	return reply[1:], reply[0] == 1, nil
+}
+
+// Blob fetches a named blob from peer. The bool reports whether the peer
+// had it.
+func Blob(c collectives.Comm, class Class, peer int, name string) ([]byte, bool, error) {
+	return call(c, class, peer, opBlob, []byte(name))
+}
+
+// Chunk fetches a chunk by fingerprint from peer.
+func Chunk(c collectives.Comm, class Class, peer int, fp fingerprint.FP) ([]byte, bool, error) {
+	return call(c, class, peer, opChunk, fp[:])
+}

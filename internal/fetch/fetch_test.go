@@ -1,0 +1,130 @@
+package fetch
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dedupcr/internal/collectives"
+	"dedupcr/internal/fingerprint"
+	"dedupcr/internal/storage"
+)
+
+func TestBlobAndChunkFetch(t *testing.T) {
+	const n = 4
+	cluster := storage.NewCluster(n)
+	data := []byte("remote chunk")
+	fp := fingerprint.Of(data)
+	if err := cluster.Node(2).PutChunk(fp, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Node(2).PutBlob("meta/x", []byte("blob!")); err != nil {
+		t.Fatal(err)
+	}
+	err := collectives.Run(n, func(c collectives.Comm) error {
+		srv := Serve(c, cluster.Node(c.Rank()), 0)
+		if c.Rank() == 0 {
+			got, ok, err := Chunk(c, 0, 2, fp)
+			if err != nil || !ok || !bytes.Equal(got, data) {
+				return fmt.Errorf("chunk fetch: %v %v %q", err, ok, got)
+			}
+			blob, ok, err := Blob(c, 0, 2, "meta/x")
+			if err != nil || !ok || string(blob) != "blob!" {
+				return fmt.Errorf("blob fetch: %v %v %q", err, ok, blob)
+			}
+			// Misses are reported, not errors.
+			if _, ok, err := Blob(c, 0, 1, "absent"); err != nil || ok {
+				return fmt.Errorf("absent blob: %v %v", err, ok)
+			}
+			if _, ok, err := Chunk(c, 0, 3, fingerprint.Of([]byte("nope"))); err != nil || ok {
+				return fmt.Errorf("absent chunk: %v %v", err, ok)
+			}
+		}
+		if err := collectives.Barrier(c); err != nil {
+			return err
+		}
+		srv.Stop()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailedStoreReportsNotFound(t *testing.T) {
+	const n = 2
+	cluster := storage.NewCluster(n)
+	cluster.FailNodes(1)
+	err := collectives.Run(n, func(c collectives.Comm) error {
+		srv := Serve(c, cluster.Node(c.Rank()), 0)
+		if c.Rank() == 0 {
+			_, ok, err := Blob(c, 0, 1, "anything")
+			if err != nil || ok {
+				return fmt.Errorf("failed node fetch: %v %v", err, ok)
+			}
+		}
+		if err := collectives.Barrier(c); err != nil {
+			return err
+		}
+		srv.Stop()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassesAreIsolated(t *testing.T) {
+	// Two fetch services with different classes on the same comm must
+	// not steal each other's traffic.
+	const n = 2
+	storeA, storeB := storage.NewMem(), storage.NewMem()
+	if err := storeA.PutBlob("x", []byte("A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := storeB.PutBlob("x", []byte("B")); err != nil {
+		t.Fatal(err)
+	}
+	err := collectives.Run(n, func(c collectives.Comm) error {
+		var a, b *Server
+		if c.Rank() == 1 {
+			a = Serve(c, storeA, 0)
+			b = Serve(c, storeB, 1)
+		}
+		if c.Rank() == 0 {
+			got, ok, err := Blob(c, 0, 1, "x")
+			if err != nil || !ok || string(got) != "A" {
+				return fmt.Errorf("class 0 got %q (%v, %v)", got, ok, err)
+			}
+			got, ok, err = Blob(c, 1, 1, "x")
+			if err != nil || !ok || string(got) != "B" {
+				return fmt.Errorf("class 1 got %q (%v, %v)", got, ok, err)
+			}
+		}
+		if err := collectives.Barrier(c); err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			a.Stop()
+			b.Stop()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStopIsIdempotentAfterClose(t *testing.T) {
+	g, err := collectives.NewGroup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := g.Comm(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(c, storage.NewMem(), 0)
+	g.Close()
+	srv.Stop() // must not hang or panic on a closed communicator
+}

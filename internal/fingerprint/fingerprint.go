@@ -1,0 +1,78 @@
+// Package fingerprint provides content fingerprints for fixed-size chunks
+// and the frequency-merge machinery (HMERGE) at the heart of the collective
+// deduplication scheme: a bounded table of the F most frequent fingerprints,
+// each mapped to its global frequency and a load-balanced list of at most K
+// designated ranks.
+package fingerprint
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// Size is the byte length of a fingerprint (SHA-1 digest).
+const Size = sha1.Size
+
+// FP is a content fingerprint of a chunk. The paper uses SHA-1, a
+// crypto-grade hash chosen to make collisions negligible in practice.
+type FP [Size]byte
+
+// Of computes the fingerprint of data.
+func Of(data []byte) FP {
+	return FP(sha1.Sum(data))
+}
+
+// String returns the hex form of the fingerprint.
+func (f FP) String() string { return hex.EncodeToString(f[:]) }
+
+// Short returns the first 8 hex digits, for logs and tests.
+func (f FP) Short() string { return hex.EncodeToString(f[:4]) }
+
+// Less orders fingerprints lexicographically. Used for deterministic
+// iteration orders in the reduction.
+func (f FP) Less(g FP) bool {
+	for i := 0; i < Size; i++ {
+		if f[i] != g[i] {
+			return f[i] < g[i]
+		}
+	}
+	return false
+}
+
+// Compare returns -1, 0 or +1 comparing f and g lexicographically.
+func (f FP) Compare(g FP) int {
+	for i := 0; i < Size; i++ {
+		switch {
+		case f[i] < g[i]:
+			return -1
+		case f[i] > g[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Marshal appends the wire form of f to dst and returns the result.
+func (f FP) Marshal(dst []byte) []byte { return append(dst, f[:]...) }
+
+// UnmarshalFP reads a fingerprint from src, returning it and the rest.
+func UnmarshalFP(src []byte) (FP, []byte, error) {
+	var f FP
+	if len(src) < Size {
+		return f, nil, fmt.Errorf("fingerprint: short buffer: %d bytes", len(src))
+	}
+	copy(f[:], src[:Size])
+	return f, src[Size:], nil
+}
+
+// Bucket maps a fingerprint to one of n buckets using its leading bytes.
+// Used to shard fingerprint tables.
+func (f FP) Bucket(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(f[:8])
+	return int(v % uint64(n))
+}

@@ -1,0 +1,87 @@
+package fingerprint
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"testing"
+	"testing/quick"
+)
+
+func TestOfMatchesSHA1(t *testing.T) {
+	data := []byte("the quick brown fox")
+	want := sha1.Sum(data)
+	if got := Of(data); got != FP(want) {
+		t.Fatalf("Of() = %s, want %x", got, want)
+	}
+}
+
+func TestOfEmpty(t *testing.T) {
+	if Of(nil) != Of([]byte{}) {
+		t.Fatal("Of(nil) and Of(empty) differ")
+	}
+}
+
+func TestStringAndShort(t *testing.T) {
+	fp := Of([]byte("x"))
+	if len(fp.String()) != 2*Size {
+		t.Errorf("String() length = %d, want %d", len(fp.String()), 2*Size)
+	}
+	if len(fp.Short()) != 8 {
+		t.Errorf("Short() length = %d, want 8", len(fp.Short()))
+	}
+	if fp.String()[:8] != fp.Short() {
+		t.Errorf("Short() %q is not a prefix of String() %q", fp.Short(), fp.String())
+	}
+}
+
+func TestCompareConsistentWithBytes(t *testing.T) {
+	check := func(a, b [Size]byte) bool {
+		f, g := FP(a), FP(b)
+		want := bytes.Compare(a[:], b[:])
+		if f.Compare(g) != want {
+			return false
+		}
+		if f.Less(g) != (want < 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	fp := Of([]byte("payload"))
+	buf := fp.Marshal(nil)
+	got, rest, err := UnmarshalFP(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != fp {
+		t.Errorf("round trip: got %s, want %s", got, fp)
+	}
+	if len(rest) != 0 {
+		t.Errorf("unexpected %d trailing bytes", len(rest))
+	}
+}
+
+func TestUnmarshalShortBuffer(t *testing.T) {
+	if _, _, err := UnmarshalFP(make([]byte, Size-1)); err == nil {
+		t.Fatal("expected error on short buffer")
+	}
+}
+
+func TestBucketRange(t *testing.T) {
+	check := func(a [Size]byte, n uint8) bool {
+		buckets := int(n%16) + 1
+		b := FP(a).Bucket(buckets)
+		return b >= 0 && b < buckets
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+	if (FP{}).Bucket(0) != 0 || (FP{}).Bucket(1) != 0 {
+		t.Error("degenerate bucket counts must map to 0")
+	}
+}

@@ -1,0 +1,241 @@
+package fingerprint
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is one row of the global fingerprint view: a fingerprint, the
+// number of distinct ranks on which it occurs (its frequency), and the at
+// most K ranks designated to store its chunk (the "designated ranks").
+//
+// Ranks is kept sorted ascending; the position of a rank inside Ranks
+// drives the round-robin assignment of missing replicas, so a shared
+// deterministic order matters.
+type Entry struct {
+	FP    FP
+	Freq  uint32
+	Ranks []int32
+}
+
+// clone returns a deep copy of e.
+func (e *Entry) clone() *Entry {
+	c := &Entry{FP: e.FP, Freq: e.Freq, Ranks: make([]int32, len(e.Ranks))}
+	copy(c.Ranks, e.Ranks)
+	return c
+}
+
+// HasRank reports whether rank is among the designated ranks of e.
+func (e *Entry) HasRank(rank int32) bool {
+	i := sort.Search(len(e.Ranks), func(i int) bool { return e.Ranks[i] >= rank })
+	return i < len(e.Ranks) && e.Ranks[i] == rank
+}
+
+// RankIndex returns the position of rank inside the sorted designated
+// list, or -1 when rank is not designated.
+func (e *Entry) RankIndex(rank int32) int {
+	i := sort.Search(len(e.Ranks), func(i int) bool { return e.Ranks[i] >= rank })
+	if i < len(e.Ranks) && e.Ranks[i] == rank {
+		return i
+	}
+	return -1
+}
+
+// Table is the HMERGE reduction state: a bounded set of at most F
+// fingerprint entries (the most frequent seen so far) plus the
+// designation-load bookkeeping used to balance rank assignment.
+//
+// The zero Table is not usable; construct with NewTable or Local.
+type Table struct {
+	// F is the maximum number of entries retained (the paper's threshold,
+	// 2^17 in the evaluation). F <= 0 means unbounded.
+	F int
+	// K is the replication factor: at most K designated ranks per entry.
+	K int
+
+	entries map[FP]*Entry
+	// load counts, per rank, how many entries currently designate it.
+	// It is the quantity minimized by the truncation rule.
+	load map[int32]int32
+}
+
+// NewTable returns an empty table with the given bounds.
+func NewTable(f, k int) *Table {
+	if k < 1 {
+		k = 1
+	}
+	return &Table{
+		F:       f,
+		K:       k,
+		entries: make(map[FP]*Entry),
+		load:    make(map[int32]int32),
+	}
+}
+
+// Local builds the leaf table of a reduction: every locally unique
+// fingerprint of rank appears with frequency 1 and a single designated
+// rank. The input need not be deduplicated; duplicates are collapsed.
+func Local(fps []FP, rank int32, f, k int) *Table {
+	t := NewTable(f, k)
+	for _, fp := range fps {
+		if _, ok := t.entries[fp]; ok {
+			continue
+		}
+		t.entries[fp] = &Entry{FP: fp, Freq: 1, Ranks: []int32{rank}}
+		t.load[rank]++
+	}
+	t.trim()
+	return t
+}
+
+// Len returns the number of entries currently held.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Lookup returns the entry for fp, or nil.
+func (t *Table) Lookup(fp FP) *Entry { return t.entries[fp] }
+
+// Load returns the designation load of rank.
+func (t *Table) Load(rank int32) int32 { return t.load[rank] }
+
+// Entries returns all entries sorted by fingerprint. The returned slice
+// aliases the table's entries; callers must not mutate them.
+func (t *Table) Entries() []*Entry {
+	out := make([]*Entry, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FP.Less(out[j].FP) })
+	return out
+}
+
+// Merge folds other into t, implementing the paper's HMERGE step:
+//
+//  1. frequencies of common fingerprints add up (frequency in the union),
+//  2. designated rank lists are unioned and, when longer than K,
+//     truncated by dropping the most designation-loaded ranks first,
+//  3. only the F most frequent fingerprints of the union are retained
+//     (ties broken by fingerprint order so all ranks agree).
+//
+// Merge mutates t and leaves other untouched. It is deterministic: merging
+// the same pair of tables always yields the same result, which the
+// reduction relies on.
+func (t *Table) Merge(other *Table) {
+	if other == nil {
+		return
+	}
+	// Deterministic processing order: fingerprints ascending.
+	for _, oe := range other.Entries() {
+		e, ok := t.entries[oe.FP]
+		if !ok {
+			c := oe.clone()
+			t.entries[oe.FP] = c
+			for _, r := range c.Ranks {
+				t.load[r]++
+			}
+			t.truncateRanks(c)
+			continue
+		}
+		e.Freq += oe.Freq
+		for _, r := range oe.Ranks {
+			if !e.HasRank(r) {
+				e.Ranks = insertSorted(e.Ranks, r)
+				t.load[r]++
+			}
+		}
+		t.truncateRanks(e)
+	}
+	t.trim()
+}
+
+// truncateRanks enforces |Ranks| <= K by evicting the most loaded ranks
+// first, shifting designation toward less loaded processes.
+func (t *Table) truncateRanks(e *Entry) {
+	for len(e.Ranks) > t.K {
+		// Pick the rank with the highest current load; break ties by the
+		// larger rank id so the choice is deterministic.
+		worst := 0
+		for i := 1; i < len(e.Ranks); i++ {
+			li, lw := t.load[e.Ranks[i]], t.load[e.Ranks[worst]]
+			if li > lw || (li == lw && e.Ranks[i] > e.Ranks[worst]) {
+				worst = i
+			}
+		}
+		t.load[e.Ranks[worst]]--
+		e.Ranks = append(e.Ranks[:worst], e.Ranks[worst+1:]...)
+	}
+}
+
+// trim enforces the top-F bound, releasing designations of evicted
+// entries. Entries are ranked by frequency descending, fingerprint
+// ascending.
+func (t *Table) trim() {
+	if t.F <= 0 || len(t.entries) <= t.F {
+		return
+	}
+	all := t.Entries()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Freq != all[j].Freq {
+			return all[i].Freq > all[j].Freq
+		}
+		return all[i].FP.Less(all[j].FP)
+	})
+	for _, e := range all[t.F:] {
+		for _, r := range e.Ranks {
+			t.load[r]--
+		}
+		delete(t.entries, e.FP)
+	}
+}
+
+// insertSorted inserts r into the ascending slice s, keeping it sorted.
+func insertSorted(s []int32, r int32) []int32 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= r })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = r
+	return s
+}
+
+// Validate checks internal invariants; used by tests and debug builds.
+func (t *Table) Validate() error {
+	want := make(map[int32]int32)
+	for _, e := range t.entries {
+		if len(e.Ranks) == 0 {
+			return fmt.Errorf("fingerprint %s has no designated ranks", e.FP.Short())
+		}
+		if len(e.Ranks) > t.K {
+			return fmt.Errorf("fingerprint %s has %d > K=%d designated ranks", e.FP.Short(), len(e.Ranks), t.K)
+		}
+		if !sort.SliceIsSorted(e.Ranks, func(i, j int) bool { return e.Ranks[i] < e.Ranks[j] }) {
+			return fmt.Errorf("fingerprint %s ranks not sorted: %v", e.FP.Short(), e.Ranks)
+		}
+		for i := 1; i < len(e.Ranks); i++ {
+			if e.Ranks[i] == e.Ranks[i-1] {
+				return fmt.Errorf("fingerprint %s duplicate rank %d", e.FP.Short(), e.Ranks[i])
+			}
+		}
+		if e.Freq == 0 {
+			return fmt.Errorf("fingerprint %s has zero frequency", e.FP.Short())
+		}
+		for _, r := range e.Ranks {
+			want[r]++
+		}
+	}
+	if t.F > 0 && len(t.entries) > t.F {
+		return fmt.Errorf("table holds %d entries > F=%d", len(t.entries), t.F)
+	}
+	for r, n := range want {
+		if t.load[r] != n {
+			return fmt.Errorf("rank %d load=%d, recount=%d", r, t.load[r], n)
+		}
+	}
+	for r, n := range t.load {
+		if n != 0 && want[r] == 0 {
+			return fmt.Errorf("rank %d load=%d but designates nothing", r, n)
+		}
+		if n < 0 {
+			return fmt.Errorf("rank %d negative load %d", r, n)
+		}
+	}
+	return nil
+}

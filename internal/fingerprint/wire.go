@@ -1,0 +1,79 @@
+package fingerprint
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire format of a Table (all integers big endian):
+//
+//	u32 F | u32 K | u32 nEntries
+//	per entry: 20-byte FP | u32 freq | u16 nRanks | nRanks × u32 rank
+//
+// Designation loads are derivable from the entries and are rebuilt on
+// decode, so they are not transmitted.
+
+// MarshalBinary encodes the table for transmission between ranks.
+func (t *Table) MarshalBinary() ([]byte, error) {
+	entries := t.Entries()
+	size := 12
+	for _, e := range entries {
+		size += Size + 4 + 2 + 4*len(e.Ranks)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(t.F))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(t.K))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = append(buf, e.FP[:]...)
+		buf = binary.BigEndian.AppendUint32(buf, e.Freq)
+		if len(e.Ranks) > 0xFFFF {
+			return nil, fmt.Errorf("fingerprint: %d designated ranks exceed wire limit", len(e.Ranks))
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Ranks)))
+		for _, r := range e.Ranks {
+			buf = binary.BigEndian.AppendUint32(buf, uint32(r))
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a table encoded by MarshalBinary.
+func (t *Table) UnmarshalBinary(data []byte) error {
+	if len(data) < 12 {
+		return fmt.Errorf("fingerprint: table header truncated (%d bytes)", len(data))
+	}
+	t.F = int(int32(binary.BigEndian.Uint32(data)))
+	t.K = int(binary.BigEndian.Uint32(data[4:]))
+	n := int(binary.BigEndian.Uint32(data[8:]))
+	data = data[12:]
+	t.entries = make(map[FP]*Entry, n)
+	t.load = make(map[int32]int32)
+	for i := 0; i < n; i++ {
+		if len(data) < Size+6 {
+			return fmt.Errorf("fingerprint: entry %d truncated", i)
+		}
+		var e Entry
+		copy(e.FP[:], data[:Size])
+		e.Freq = binary.BigEndian.Uint32(data[Size:])
+		nr := int(binary.BigEndian.Uint16(data[Size+4:]))
+		data = data[Size+6:]
+		if len(data) < 4*nr {
+			return fmt.Errorf("fingerprint: entry %d rank list truncated", i)
+		}
+		e.Ranks = make([]int32, nr)
+		for j := 0; j < nr; j++ {
+			e.Ranks[j] = int32(binary.BigEndian.Uint32(data[4*j:]))
+			t.load[e.Ranks[j]]++
+		}
+		data = data[4*nr:]
+		if _, dup := t.entries[e.FP]; dup {
+			return fmt.Errorf("fingerprint: duplicate entry %s", e.FP.Short())
+		}
+		t.entries[e.FP] = &e
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("fingerprint: %d trailing bytes after table", len(data))
+	}
+	return nil
+}

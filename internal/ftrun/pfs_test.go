@@ -1,0 +1,148 @@
+package ftrun
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dedupcr/internal/apps/hpccg"
+	"dedupcr/internal/collectives"
+	"dedupcr/internal/storage"
+)
+
+func TestFlushAndRestartFromPFS(t *testing.T) {
+	const n = 6
+	cluster := storage.NewCluster(n)
+	pfs := storage.NewMem() // the shared parallel file system
+	images := make([][]byte, n)
+
+	// Phase 1: run, checkpoint locally, drain to the PFS.
+	err := collectives.Run(n, func(c collectives.Comm) error {
+		rt := New(c, cluster.Node(c.Rank()), testOpts())
+		app := hpccg.New(c.Rank(), n, hpccg.Config{NX: 6, NY: 6, NZ: 6})
+		for i := 0; i < 3; i++ {
+			app.Step()
+		}
+		if _, err := rt.CheckpointApp(app); err != nil {
+			return err
+		}
+		epoch, err := rt.FlushPFS(pfs)
+		if err != nil {
+			return err
+		}
+		if epoch != 0 {
+			return fmt.Errorf("flushed epoch %d, want 0", epoch)
+		}
+		images[c.Rank()] = app.CheckpointImage()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The PFS deduplicates across ranks: shared pages stored once.
+	var raw int64
+	for _, img := range images {
+		raw += int64(len(img))
+	}
+	used, _ := pfs.Usage()
+	if used >= raw {
+		t.Errorf("PFS holds %d bytes for %d raw; cross-rank dedup missing", used, raw)
+	}
+
+	// Phase 2: catastrophic loss — every node's local storage dies.
+	// Only the PFS level survives.
+	for r := 0; r < n; r++ {
+		cluster.FailNodes(r)
+		cluster.Replace(r)
+	}
+	err = collectives.Run(n, func(c collectives.Comm) error {
+		rt := New(c, cluster.Node(c.Rank()), testOpts())
+		app := hpccg.New(c.Rank(), n, hpccg.Config{NX: 6, NY: 6, NZ: 6})
+		// Local restart must fail first (nothing survived).
+		if _, err := rt.RestartApp(app); err != ErrNoCheckpoint {
+			return fmt.Errorf("local restart after total loss: %v, want ErrNoCheckpoint", err)
+		}
+		epoch, err := rt.RestartAppFromPFS(pfs, app)
+		if err != nil {
+			return err
+		}
+		if epoch != 0 {
+			return fmt.Errorf("PFS restart epoch %d, want 0", epoch)
+		}
+		if !bytes.Equal(app.CheckpointImage(), images[c.Rank()]) {
+			return fmt.Errorf("rank %d PFS restart produced wrong state", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlushPFSWithoutCheckpoint(t *testing.T) {
+	const n = 2
+	cluster := storage.NewCluster(n)
+	pfs := storage.NewMem()
+	err := collectives.Run(n, func(c collectives.Comm) error {
+		rt := New(c, cluster.Node(c.Rank()), testOpts())
+		if _, err := rt.FlushPFS(pfs); err != ErrNoCheckpoint {
+			return fmt.Errorf("got %v, want ErrNoCheckpoint", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestartFromEmptyPFS(t *testing.T) {
+	const n = 2
+	cluster := storage.NewCluster(n)
+	pfs := storage.NewMem()
+	err := collectives.Run(n, func(c collectives.Comm) error {
+		rt := New(c, cluster.Node(c.Rank()), testOpts())
+		rt.Register("s", 64)
+		if _, err := rt.RestartFromPFS(pfs); err != ErrNoCheckpoint {
+			return fmt.Errorf("got %v, want ErrNoCheckpoint", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransparentModePFSRoundTrip(t *testing.T) {
+	const n = 4
+	cluster := storage.NewCluster(n)
+	pfs := storage.NewMem()
+	err := collectives.Run(n, func(c collectives.Comm) error {
+		rt := New(c, cluster.Node(c.Rank()), testOpts())
+		state := rt.Register("state", 2048)
+		for i := range state {
+			state[i] = byte(i ^ c.Rank())
+		}
+		if _, err := rt.Checkpoint(); err != nil {
+			return err
+		}
+		if _, err := rt.FlushPFS(pfs); err != nil {
+			return err
+		}
+		for i := range state {
+			state[i] = 0
+		}
+		if _, err := rt.RestartFromPFS(pfs); err != nil {
+			return err
+		}
+		for i := range state {
+			if state[i] != byte(i^c.Rank()) {
+				return fmt.Errorf("rank %d: state not restored from PFS", c.Rank())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

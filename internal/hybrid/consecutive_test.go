@@ -1,0 +1,39 @@
+package hybrid
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dedupcr/internal/collectives"
+	"dedupcr/internal/storage"
+)
+
+// TestConsecutiveProtectsMixedK guards the gather protocol: a K=1 Protect
+// (no parity, no gather) followed by a K=3 Protect on the same
+// communicator must not leave stale shard messages behind.
+func TestConsecutiveProtectsMixedK(t *testing.T) {
+	const n = 8
+	cluster := storage.NewCluster(n)
+	err := collectives.Run(n, func(c collectives.Comm) error {
+		for step, k := range []int{1, 3, 1, 3} {
+			name := fmt.Sprintf("mix-%d", step)
+			buf := testBuffer(c.Rank()+step*10, 4, 2, 1, 2)
+			o := Options{K: k, Group: 4, ChunkSize: testPage, Name: name}
+			if _, err := Protect(c, cluster.Node(c.Rank()), buf, o); err != nil {
+				return fmt.Errorf("step %d (K=%d): %w", step, k, err)
+			}
+			got, err := Restore(c, cluster.Node(c.Rank()), name)
+			if err != nil {
+				return fmt.Errorf("step %d restore: %w", step, err)
+			}
+			if !bytes.Equal(got, buf) {
+				return fmt.Errorf("step %d (K=%d): corrupted round trip", step, k)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

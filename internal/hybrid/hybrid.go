@@ -1,0 +1,258 @@
+// Package hybrid combines the paper's collective deduplication with
+// Reed-Solomon erasure coding, the complementary protection its
+// conclusion proposes: chunks that are naturally duplicated on at least K
+// nodes keep relying on those natural replicas, while the remainder —
+// which coll-dedup would replicate K-1 extra times — is instead protected
+// by parity.
+//
+// Scheme. Ranks are organized in groups of G consecutive ranks. Each
+// rank's "remainder" (locally unique chunks without K natural replicas)
+// is serialized into a data shard kept on its own node; the group leader
+// gathers the group's G shards, computes P = K-1 Reed-Solomon parity
+// shards, and places them on the first P members of the next group. Every
+// group's G+P shards therefore live on G+P distinct nodes, so any K-1
+// node losses leave at least G shards of every group — enough to rebuild
+// every lost data shard. Traffic per group is (G-1+P)·S instead of
+// replication's G·(K-1)·S, the bandwidth trade the paper anticipates.
+package hybrid
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dedupcr/internal/chunk"
+	"dedupcr/internal/collectives"
+	"dedupcr/internal/fingerprint"
+	"dedupcr/internal/storage"
+)
+
+// Options configures hybrid protection.
+type Options struct {
+	// K is the protection level: the dataset survives any K-1 node
+	// losses, exactly like replication with factor K.
+	K int
+	// Group is the erasure group size G (data shards per group).
+	// 0 selects 4.
+	Group int
+	// ChunkSize and F mirror core.Options. Zero selects 4096 and 2^17.
+	ChunkSize int
+	F         int
+	// Name identifies the dataset.
+	Name string
+}
+
+func (o Options) normalized(n int) (Options, error) {
+	if o.K < 1 {
+		return o, fmt.Errorf("hybrid: K=%d must be >= 1", o.K)
+	}
+	if o.Group <= 0 {
+		o.Group = 4
+	}
+	if o.Group > n {
+		o.Group = n
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = chunk.DefaultSize
+	}
+	if o.F == 0 {
+		o.F = 1 << 17
+	}
+	if o.F < 0 {
+		o.F = 0
+	}
+	if o.Name == "" {
+		o.Name = "dataset"
+	}
+	// Parity shards of a group must fit on distinct members of the next
+	// group.
+	if o.K-1 > o.Group {
+		return o, fmt.Errorf("hybrid: K-1=%d parity shards exceed group size %d", o.K-1, o.Group)
+	}
+	return o, nil
+}
+
+// Report summarizes one rank's Protect call for the ablation benches.
+type Report struct {
+	DatasetBytes      int64
+	RemainderChunks   int
+	RemainderBytes    int64
+	NaturalReplicas   int   // chunks covered by >= K natural holders
+	ParityBytesSent   int64 // erasure traffic this rank originated
+	GatherBytesSent   int64 // shard bytes pushed to the group leader
+	StoredParityBytes int64 // parity bytes this rank stores for others
+}
+
+// group geometry helpers.
+type geometry struct {
+	n, g int
+}
+
+func (ge geometry) groups() int { return (ge.n + ge.g - 1) / ge.g }
+
+func (ge geometry) groupOf(rank int) int { return rank / ge.g }
+
+// members returns the ranks of group idx.
+func (ge geometry) members(idx int) []int {
+	lo := idx * ge.g
+	hi := lo + ge.g
+	if hi > ge.n {
+		hi = ge.n
+	}
+	out := make([]int, 0, hi-lo)
+	for r := lo; r < hi; r++ {
+		out = append(out, r)
+	}
+	return out
+}
+
+// leader returns the first rank of the group.
+func (ge geometry) leader(idx int) int { return idx * ge.g }
+
+// parityHolder returns the rank storing parity shard p of group idx: the
+// p-th member of the next group (wrapping).
+func (ge geometry) parityHolder(idx, p int) int {
+	next := (idx + 1) % ge.groups()
+	m := ge.members(next)
+	return m[p%len(m)]
+}
+
+// Blob names.
+func shardBlob(name string, rank int) string {
+	return fmt.Sprintf("%s/hybrid-shard-rank%06d", name, rank)
+}
+
+func parityBlob(name string, group, p int) string {
+	return fmt.Sprintf("%s/hybrid-parity-g%06d-p%02d", name, group, p)
+}
+
+func metaBlob(name string, rank int) string {
+	return fmt.Sprintf("%s/hybrid-meta-rank%06d", name, rank)
+}
+
+// Message tags (user tag space; hybrid protocols are collective and
+// SPMD-ordered, so fixed tags suffice).
+const (
+	tagShardGather collectives.Tag = 101
+	tagMetaXchg    collectives.Tag = 102
+)
+
+// meta is the per-rank restore metadata.
+type meta struct {
+	Rank   int32
+	K      int32
+	Group  int32
+	Recipe chunk.Recipe
+	// Hints maps chunks not stored locally to their designated holders.
+	Hints map[fingerprint.FP][]int32
+	// ShardFPs lists the remainder chunks in shard order.
+	ShardFPs []fingerprint.FP
+	// ShardLen is the unpadded byte length of this rank's data shard.
+	ShardLen int64
+}
+
+func (m *meta) marshal() ([]byte, error) {
+	rec, err := m.Recipe.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 24+len(rec))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Rank))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.K))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Group))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.ShardLen))
+	buf = append(buf, rec...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.ShardFPs)))
+	for _, fp := range m.ShardFPs {
+		buf = append(buf, fp[:]...)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Hints)))
+	for _, h := range sortedHints(m.Hints) {
+		buf = append(buf, h.fp[:]...)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(h.ranks)))
+		for _, r := range h.ranks {
+			buf = binary.BigEndian.AppendUint32(buf, uint32(r))
+		}
+	}
+	return buf, nil
+}
+
+type hintPair struct {
+	fp    fingerprint.FP
+	ranks []int32
+}
+
+func sortedHints(hints map[fingerprint.FP][]int32) []hintPair {
+	out := make([]hintPair, 0, len(hints))
+	for fp, ranks := range hints {
+		out = append(out, hintPair{fp, ranks})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].fp.Less(out[j-1].fp); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func (m *meta) unmarshal(data []byte) error {
+	if len(data) < 20 {
+		return errors.New("hybrid: meta truncated")
+	}
+	m.Rank = int32(binary.BigEndian.Uint32(data))
+	m.K = int32(binary.BigEndian.Uint32(data[4:]))
+	m.Group = int32(binary.BigEndian.Uint32(data[8:]))
+	m.ShardLen = int64(binary.BigEndian.Uint64(data[12:]))
+	rec, rest, err := chunk.DecodeRecipe(data[20:])
+	if err != nil {
+		return err
+	}
+	m.Recipe = rec
+	if len(rest) < 4 {
+		return errors.New("hybrid: meta shard list truncated")
+	}
+	nShard := int(binary.BigEndian.Uint32(rest))
+	rest = rest[4:]
+	if len(rest) < nShard*fingerprint.Size {
+		return errors.New("hybrid: meta shard fps truncated")
+	}
+	m.ShardFPs = make([]fingerprint.FP, nShard)
+	for i := range m.ShardFPs {
+		copy(m.ShardFPs[i][:], rest[:fingerprint.Size])
+		rest = rest[fingerprint.Size:]
+	}
+	if len(rest) < 4 {
+		return errors.New("hybrid: meta hints truncated")
+	}
+	nHints := int(binary.BigEndian.Uint32(rest))
+	rest = rest[4:]
+	m.Hints = make(map[fingerprint.FP][]int32, nHints)
+	for i := 0; i < nHints; i++ {
+		if len(rest) < fingerprint.Size+2 {
+			return errors.New("hybrid: meta hint truncated")
+		}
+		var fp fingerprint.FP
+		copy(fp[:], rest[:fingerprint.Size])
+		nr := int(binary.BigEndian.Uint16(rest[fingerprint.Size:]))
+		rest = rest[fingerprint.Size+2:]
+		if len(rest) < 4*nr {
+			return errors.New("hybrid: meta hint ranks truncated")
+		}
+		ranks := make([]int32, nr)
+		for j := range ranks {
+			ranks[j] = int32(binary.BigEndian.Uint32(rest[4*j:]))
+		}
+		rest = rest[4*nr:]
+		m.Hints[fp] = ranks
+	}
+	if len(rest) != 0 {
+		return errors.New("hybrid: meta trailing bytes")
+	}
+	return nil
+}
+
+// storageErr reports storage failures that should abort (anything but a
+// simulated node failure, which restores tolerate).
+func storageErr(err error) bool {
+	return err != nil && !errors.Is(err, storage.ErrFailed)
+}

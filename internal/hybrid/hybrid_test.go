@@ -1,0 +1,232 @@
+package hybrid
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dedupcr/internal/collectives"
+	"dedupcr/internal/core"
+	"dedupcr/internal/fingerprint"
+	"dedupcr/internal/storage"
+)
+
+const testPage = 256
+
+func page(label string) []byte {
+	seed := int64(0)
+	for _, b := range []byte(label) {
+		seed = seed*131 + int64(b)
+	}
+	buf := make([]byte, testPage)
+	rand.New(rand.NewSource(seed)).Read(buf)
+	return buf
+}
+
+// testBuffer mirrors the core test workload: cross-rank shared pages,
+// group-shared pages, local duplicates and rank-private pages.
+func testBuffer(rank, shared, group, localdup, unique int) []byte {
+	var buf []byte
+	for i := 0; i < shared; i++ {
+		buf = append(buf, page(fmt.Sprintf("shared-%d", i))...)
+	}
+	for i := 0; i < group; i++ {
+		buf = append(buf, page(fmt.Sprintf("group-%d-%d", rank/4, i))...)
+	}
+	for i := 0; i < localdup; i++ {
+		p := page(fmt.Sprintf("ldup-%d-%d", rank, i))
+		buf = append(buf, p...)
+		buf = append(buf, p...)
+	}
+	for i := 0; i < unique; i++ {
+		buf = append(buf, page(fmt.Sprintf("uniq-%d-%d", rank, i))...)
+	}
+	return buf
+}
+
+func runProtect(t *testing.T, n int, o Options) (*storage.Cluster, []Report, [][]byte) {
+	t.Helper()
+	cluster := storage.NewCluster(n)
+	reports := make([]Report, n)
+	buffers := make([][]byte, n)
+	var mu sync.Mutex
+	err := collectives.Run(n, func(c collectives.Comm) error {
+		buf := testBuffer(c.Rank(), 6, 4, 3, 2+c.Rank()%3)
+		rep, err := Protect(c, cluster.Node(c.Rank()), buf, o)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		reports[c.Rank()] = *rep
+		buffers[c.Rank()] = buf
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cluster, reports, buffers
+}
+
+func restoreAll(t *testing.T, n int, cluster *storage.Cluster, buffers [][]byte, name string) {
+	t.Helper()
+	err := collectives.Run(n, func(c collectives.Comm) error {
+		got, err := Restore(c, cluster.Node(c.Rank()), name)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, buffers[c.Rank()]) {
+			return fmt.Errorf("rank %d restore mismatch", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProtectRestoreRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ n, k, g int }{
+		{8, 3, 4}, {12, 2, 4}, {9, 3, 3}, {8, 1, 4}, {10, 3, 5},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("n=%d/k=%d/g=%d", tc.n, tc.k, tc.g), func(t *testing.T) {
+			o := Options{K: tc.k, Group: tc.g, ChunkSize: testPage, Name: "hy"}
+			cluster, _, buffers := runProtect(t, tc.n, o)
+			restoreAll(t, tc.n, cluster, buffers, "hy")
+		})
+	}
+}
+
+func TestRestoreAfterDataNodeLoss(t *testing.T) {
+	const n, k, g = 12, 3, 4
+	o := Options{K: k, Group: g, ChunkSize: testPage, Name: "hy"}
+	cluster, _, buffers := runProtect(t, n, o)
+	// Lose K-1 = 2 nodes of the SAME group: both data shards must be
+	// rebuilt from the remaining 2 data + 2 parity shards.
+	cluster.FailNodes(4, 6)
+	cluster.Replace(4)
+	cluster.Replace(6)
+	restoreAll(t, n, cluster, buffers, "hy")
+	// The replaced nodes must have been re-provisioned.
+	for _, r := range []int{4, 6} {
+		if b, _ := cluster.Node(r).Usage(); b == 0 {
+			t.Errorf("node %d not re-provisioned", r)
+		}
+	}
+}
+
+func TestRestoreAfterDataPlusParityLoss(t *testing.T) {
+	const n, k, g = 12, 3, 4
+	o := Options{K: k, Group: g, ChunkSize: testPage, Name: "hy"}
+	cluster, _, buffers := runProtect(t, n, o)
+	// Lose one data node of group 0 and one parity holder of group 0
+	// (first member of group 1 holds parity 0 of group 0).
+	cluster.FailNodes(1, 4)
+	cluster.Replace(1)
+	cluster.Replace(4)
+	restoreAll(t, n, cluster, buffers, "hy")
+}
+
+func TestHybridSendsLessThanReplication(t *testing.T) {
+	const n, k = 12, 3
+	o := Options{K: k, Group: 4, ChunkSize: testPage, Name: "hy"}
+	_, reports, buffers := runProtect(t, n, o)
+	hybridSent, _ := TrafficSummary(reports)
+
+	// Same workload through the replication-based coll-dedup.
+	cluster := storage.NewCluster(n)
+	var mu sync.Mutex
+	var replSent int64
+	err := collectives.Run(n, func(c collectives.Comm) error {
+		res, err := core.DumpOutput(c, cluster.Node(c.Rank()), buffers[c.Rank()], core.Options{
+			K: k, Approach: core.CollDedup, ChunkSize: testPage, Name: "repl",
+		})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		replSent += res.Metrics.SentBytes
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("traffic: hybrid=%d bytes, coll-dedup replication=%d bytes", hybridSent, replSent)
+	if hybridSent >= replSent {
+		t.Errorf("hybrid erasure traffic %d not below replication traffic %d", hybridSent, replSent)
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	ge := geometry{n: 10, g: 4}
+	if ge.groups() != 3 {
+		t.Fatalf("groups = %d", ge.groups())
+	}
+	if got := ge.members(2); len(got) != 2 || got[0] != 8 || got[1] != 9 {
+		t.Fatalf("members(2) = %v", got)
+	}
+	if ge.groupOf(7) != 1 || ge.leader(1) != 4 {
+		t.Fatal("groupOf/leader wrong")
+	}
+	// Parity holders of a group live in the next group, wrapping.
+	if h := ge.parityHolder(2, 0); h != 0 {
+		t.Fatalf("parityHolder(2,0) = %d", h)
+	}
+	if h := ge.parityHolder(0, 1); h != 5 {
+		t.Fatalf("parityHolder(0,1) = %d", h)
+	}
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	m := &meta{
+		Rank: 3, K: 3, Group: 4, ShardLen: 12345,
+		ShardFPs: []fingerprint.FP{fingerprint.Of([]byte("a")), fingerprint.Of([]byte("b"))},
+		Hints: map[fingerprint.FP][]int32{
+			fingerprint.Of([]byte("c")): {1, 2},
+			fingerprint.Of([]byte("d")): {7},
+		},
+	}
+	m.Recipe.FPs = m.ShardFPs
+	m.Recipe.Sizes = []int32{1, 1}
+	blob, err := m.marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back meta
+	if err := back.unmarshal(blob); err != nil {
+		t.Fatal(err)
+	}
+	if back.Rank != 3 || back.K != 3 || back.Group != 4 || back.ShardLen != 12345 {
+		t.Fatalf("header fields wrong: %+v", back)
+	}
+	if len(back.ShardFPs) != 2 || back.ShardFPs[1] != m.ShardFPs[1] {
+		t.Fatal("shard fps wrong")
+	}
+	if len(back.Hints) != 2 || back.Hints[fingerprint.Of([]byte("c"))][1] != 2 {
+		t.Fatal("hints wrong")
+	}
+	// Truncations must be rejected.
+	for _, cut := range []int{0, 10, len(blob) - 1} {
+		var bad meta
+		if err := bad.unmarshal(blob[:cut]); err == nil {
+			t.Errorf("cut %d accepted", cut)
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := (Options{K: 0}).normalized(8); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := (Options{K: 6, Group: 4}).normalized(8); err == nil {
+		t.Error("K-1 > Group accepted")
+	}
+	o, err := (Options{K: 3}).normalized(8)
+	if err != nil || o.Group != 4 || o.ChunkSize == 0 || o.Name == "" {
+		t.Errorf("defaults not applied: %+v (%v)", o, err)
+	}
+}

@@ -1,0 +1,254 @@
+package hybrid
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dedupcr/internal/collectives"
+	"dedupcr/internal/erasure"
+	"dedupcr/internal/fetch"
+	"dedupcr/internal/fingerprint"
+	"dedupcr/internal/storage"
+)
+
+// fetchClass is the fetch-service protocol class of hybrid restores
+// (distinct from the plain restore's so both could even run in parallel).
+const fetchClass fetch.Class = 1
+
+// Restore is the collective inverse of Protect. Chunks missing locally
+// are pulled from designated holders; if the rank's own data shard was
+// lost with its node, it is rebuilt from the group's surviving data and
+// parity shards via Reed-Solomon reconstruction. Tolerates any K-1 node
+// losses.
+func Restore(c collectives.Comm, store storage.Store, name string) ([]byte, error) {
+	me := c.Rank()
+	srv := fetch.Serve(c, store, fetchClass)
+	defer srv.Stop()
+
+	m, err := loadMeta(c, store, name)
+	if err != nil {
+		return nil, fmt.Errorf("rank %d: %w", me, err)
+	}
+	ge := geometry{n: c.Size(), g: int(m.Group)}
+
+	// Eager shard recovery: a replaced node rebuilds its data shard and
+	// re-provisions its chunks BEFORE anyone assembles, so that peers
+	// whose discarded chunks lived only on now-dead designated holders
+	// find them again after the barrier.
+	var shardChunks map[fingerprint.FP][]byte
+	if _, berr := store.GetBlob(shardBlob(name, me)); berr != nil && len(m.ShardFPs) > 0 {
+		shard, rerr := recoverShard(c, store, m, ge, name)
+		if rerr != nil {
+			return nil, fmt.Errorf("rank %d: %w", me, rerr)
+		}
+		shardChunks, rerr = parseShard(shard, m.ShardFPs)
+		if rerr != nil {
+			return nil, fmt.Errorf("rank %d: %w", me, rerr)
+		}
+		for fp, data := range shardChunks {
+			cache(store, fp, data)
+		}
+	}
+	if err := collectives.Barrier(c); err != nil {
+		return nil, fmt.Errorf("rank %d recovery barrier: %w", me, err)
+	}
+
+	buf, err := m.Recipe.Assemble(func(fp fingerprint.FP) ([]byte, error) {
+		if data, err := store.GetChunk(fp); err == nil {
+			return data, nil
+		}
+		// Designated holders first.
+		for _, r := range m.Hints[fp] {
+			if int(r) == me {
+				continue
+			}
+			data, ok, err := fetch.Chunk(c, fetchClass, int(r), fp)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				cache(store, fp, data)
+				return data, nil
+			}
+		}
+		// Shard path: rebuild this rank's data shard once.
+		if shardChunks == nil {
+			shard, err := recoverShard(c, store, m, ge, name)
+			if err != nil {
+				return nil, err
+			}
+			shardChunks, err = parseShard(shard, m.ShardFPs)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if data, ok := shardChunks[fp]; ok {
+			cache(store, fp, data)
+			return data, nil
+		}
+		// Last resort: sweep all ranks.
+		for d := 1; d < c.Size(); d++ {
+			data, ok, err := fetch.Chunk(c, fetchClass, (me+d)%c.Size(), fp)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				cache(store, fp, data)
+				return data, nil
+			}
+		}
+		return nil, fmt.Errorf("chunk %s unrecoverable", fp.Short())
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rank %d assemble %q: %w", me, name, err)
+	}
+
+	if err := collectives.Barrier(c); err != nil {
+		return nil, fmt.Errorf("rank %d restore barrier: %w", me, err)
+	}
+	return buf, nil
+}
+
+// cache best-effort re-provisions a recovered chunk locally.
+func cache(store storage.Store, fp fingerprint.FP, data []byte) {
+	if err := store.PutChunk(fp, data); err != nil && !errors.Is(err, storage.ErrFailed) {
+		// Non-failure storage errors surface on the next read; restores
+		// must not abort over a cache write.
+		return
+	}
+}
+
+// loadMeta retrieves this rank's metadata locally or from the neighbour
+// replicas.
+func loadMeta(c collectives.Comm, store storage.Store, name string) (*meta, error) {
+	me, n := c.Rank(), c.Size()
+	blobName := metaBlob(name, me)
+	blob, err := store.GetBlob(blobName)
+	if err != nil {
+		for d := 1; d < n; d++ {
+			data, ok, rerr := fetch.Blob(c, fetchClass, (me+d)%n, blobName)
+			if rerr != nil {
+				return nil, rerr
+			}
+			if ok {
+				blob = data
+				break
+			}
+		}
+		if blob == nil {
+			return nil, fmt.Errorf("hybrid metadata %q unrecoverable", blobName)
+		}
+	}
+	m := new(meta)
+	if err := m.unmarshal(blob); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// recoverShard returns this rank's data shard: from the local store when
+// it survived, otherwise by Reed-Solomon reconstruction from the group's
+// surviving shards.
+func recoverShard(c collectives.Comm, store storage.Store, m *meta, ge geometry, name string) ([]byte, error) {
+	me := c.Rank()
+	if shard, err := store.GetBlob(shardBlob(name, me)); err == nil {
+		return shard, nil
+	}
+	group := ge.groupOf(me)
+	members := ge.members(group)
+	parity := int(m.K) - 1
+
+	// Collect surviving shards: data from members, parity from holders.
+	shards := make([][]byte, len(members)+parity)
+	var padded int64
+	myIdx := -1
+	for i, r := range members {
+		if r == me {
+			myIdx = i
+			continue
+		}
+		data, ok, err := fetch.Blob(c, fetchClass, r, shardBlob(name, r))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			shards[i] = data
+		}
+	}
+	for p := 0; p < parity; p++ {
+		holder := ge.parityHolder(group, p)
+		blobName := parityBlob(name, group, p)
+		var data []byte
+		var ok bool
+		if holder == me {
+			if b, err := store.GetBlob(blobName); err == nil {
+				data, ok = b, true
+			}
+		} else {
+			var err error
+			data, ok, err = fetch.Blob(c, fetchClass, holder, blobName)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if ok {
+			shards[len(members)+p] = data
+			if int64(len(data)) > padded {
+				padded = int64(len(data))
+			}
+		}
+	}
+	if padded == 0 {
+		// No parity shard reachable: reconstruction needs all data
+		// shards — ours is gone, so the shard is lost. (Cannot happen
+		// within the K-1 failure budget.)
+		return nil, fmt.Errorf("shard of rank %d unrecoverable: no parity shard reachable", me)
+	}
+	// Pad surviving data shards to the parity length.
+	for i := range members {
+		if shards[i] != nil {
+			shards[i] = pad(shards[i], padded)
+		}
+	}
+	coder, err := erasure.New(len(members), parity)
+	if err != nil {
+		return nil, err
+	}
+	if err := coder.Reconstruct(shards); err != nil {
+		return nil, fmt.Errorf("rank %d group %d reconstruction: %w", me, group, err)
+	}
+	shard := shards[myIdx][:m.ShardLen]
+	// Re-provision the rebuilt shard locally.
+	if err := store.PutBlob(shardBlob(name, me), shard); err != nil && !errors.Is(err, storage.ErrFailed) {
+		return nil, err
+	}
+	return shard, nil
+}
+
+// parseShard splits a framed shard back into chunks and verifies them
+// against the expected fingerprints.
+func parseShard(shard []byte, fps []fingerprint.FP) (map[fingerprint.FP][]byte, error) {
+	out := make(map[fingerprint.FP][]byte, len(fps))
+	cur := 0
+	for i, fp := range fps {
+		if cur+4 > len(shard) {
+			return nil, fmt.Errorf("shard record %d header truncated", i)
+		}
+		size := int(binary.BigEndian.Uint32(shard[cur:]))
+		cur += 4
+		if cur+size > len(shard) {
+			return nil, fmt.Errorf("shard record %d overruns shard", i)
+		}
+		data := shard[cur : cur+size]
+		cur += size
+		if fingerprint.Of(data) != fp {
+			return nil, fmt.Errorf("shard record %d does not match fingerprint %s", i, fp.Short())
+		}
+		out[fp] = data
+	}
+	if cur != len(shard) {
+		return nil, fmt.Errorf("%d trailing bytes in shard", len(shard)-cur)
+	}
+	return out, nil
+}

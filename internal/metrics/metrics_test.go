@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSumMaxAvg(t *testing.T) {
+	v := []int64{3, 1, 4, 1, 5}
+	if got := Sum(v); got != 14 {
+		t.Errorf("Sum = %d", got)
+	}
+	if got := Max(v); got != 5 {
+		t.Errorf("Max = %d", got)
+	}
+	if got := Avg(v); got != 2.8 {
+		t.Errorf("Avg = %g", got)
+	}
+}
+
+func TestEmptySlices(t *testing.T) {
+	if Sum(nil) != 0 || Max(nil) != 0 || Avg(nil) != 0 {
+		t.Fatal("empty-slice aggregates must be zero")
+	}
+}
+
+func TestMaxWithNegatives(t *testing.T) {
+	if got := Max([]int64{-5, -2, -9}); got != -2 {
+		t.Errorf("Max of negatives = %d, want -2", got)
+	}
+}
+
+func TestMaxIsUpperBound(t *testing.T) {
+	check := func(v []int64) bool {
+		if len(v) == 0 {
+			return true
+		}
+		m := Max(v)
+		for _, x := range v {
+			if x > m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := map[int64]string{
+		0:                "0 B",
+		512:              "512 B",
+		1024:             "1.00 KiB",
+		1536:             "1.50 KiB",
+		1 << 20:          "1.00 MiB",
+		3 << 30:          "3.00 GiB",
+		1536 << 20 * 408: "612.00 GiB",
+	}
+	for in, want := range cases {
+		if got := Bytes(in); got != want {
+			t.Errorf("Bytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(33, 100); got != "33.0%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(1, 0); got != "n/a" {
+		t.Errorf("Pct with zero whole = %q", got)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	dumps := []Dump{{SentBytes: 10}, {SentBytes: 20}}
+	got := Collect(dumps, func(d Dump) int64 { return d.SentBytes })
+	if len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Fatalf("Collect = %v", got)
+	}
+}

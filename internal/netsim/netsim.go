@@ -1,0 +1,240 @@
+// Package netsim converts the measured byte/chunk counters of a
+// collective dump into simulated wall-clock seconds using an analytic
+// model of the paper's Shamrock testbed: 34 nodes, Gigabit Ethernet, one
+// local HDD per node, Intel Xeon X5670 (6 cores / 12 threads), 12 ranks
+// per node at full scale.
+//
+// The model is deliberately simple — per-node bandwidth sharing plus
+// per-round reduction latency — because the paper's headline effects are
+// bandwidth effects: who moves and writes fewer bytes wins. Everything
+// the model consumes is measured by the dump pipeline, never estimated.
+package netsim
+
+import (
+	"fmt"
+
+	"dedupcr/internal/metrics"
+)
+
+// Model holds the testbed constants. All bandwidths are bytes/second.
+type Model struct {
+	// NICBandwidth is the per-node network bandwidth, shared by all
+	// ranks of the node, full duplex (sends and receives each get the
+	// full rate). GbE with protocol overhead ≈ 117 MB/s.
+	NICBandwidth float64
+	// DiskWrite is the per-node local HDD write bandwidth, shared by all
+	// ranks of the node.
+	DiskWrite float64
+	// DiskRead is the per-node local HDD read bandwidth (restores).
+	DiskRead float64
+	// HashRate is the per-core SHA-1 throughput. Each rank hashes on its
+	// own hardware thread; oversubscription beyond physical cores halves
+	// effective throughput.
+	HashRate float64
+	// CoresPerNode is the number of physical cores per node.
+	CoresPerNode int
+	// RanksPerNode is how many ranks share one node (and hence one NIC
+	// and one disk).
+	RanksPerNode int
+	// RoundLatency is the per-round cost of a reduction/broadcast step
+	// (message latency plus merge bookkeeping).
+	RoundLatency float64
+	// MergeRate is the CPU throughput of the HMERGE step over serialized
+	// fingerprint table bytes.
+	MergeRate float64
+	// PFSBandwidth is the effective aggregate bandwidth a job gets from
+	// the decoupled parallel file system (GPFS-style), shared by all of
+	// the job's ranks and contended with other jobs — the bottleneck the
+	// paper's introduction motivates local storage with.
+	PFSBandwidth float64
+	// Scale multiplies every measured byte count before conversion to
+	// time, letting a scaled-down in-process workload (e.g. 1.5 MB/rank)
+	// stand in for the paper's full-size one (1.5 GB/rank). 0 means 1.
+	Scale float64
+}
+
+// Shamrock returns the model calibrated to the paper's testbed.
+func Shamrock() Model {
+	return Model{
+		NICBandwidth: 117e6,
+		DiskWrite:    100e6,
+		DiskRead:     110e6,
+		HashRate:     400e6,
+		CoresPerNode: 6,
+		RanksPerNode: 12,
+		RoundLatency: 0.015,
+		MergeRate:    150e6,
+		PFSBandwidth: 1e9,
+		Scale:        1,
+	}
+}
+
+// Breakdown is the simulated time of one collective dump, split by phase.
+// Phases within a node are serialized in the order the pipeline runs
+// them (hash, reduce, exchange, commit); sends and receives of the
+// exchange overlap (full duplex).
+type Breakdown struct {
+	Hash     float64
+	Reduce   float64
+	Exchange float64
+	Disk     float64
+}
+
+// Total returns the end-to-end dump time.
+func (b Breakdown) Total() float64 { return b.Hash + b.Reduce + b.Exchange + b.Disk }
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("hash=%.2fs reduce=%.2fs exchange=%.2fs disk=%.2fs total=%.2fs",
+		b.Hash, b.Reduce, b.Exchange, b.Disk, b.Total())
+}
+
+// nodeOf maps ranks onto nodes contiguously, the usual MPI placement.
+func (m Model) nodeOf(rank int) int {
+	rpn := m.RanksPerNode
+	if rpn < 1 {
+		rpn = 1
+	}
+	return rank / rpn
+}
+
+// Nodes returns how many nodes the given rank count occupies.
+func (m Model) Nodes(ranks int) int {
+	rpn := m.RanksPerNode
+	if rpn < 1 {
+		rpn = 1
+	}
+	return (ranks + rpn - 1) / rpn
+}
+
+func (m Model) scale() float64 {
+	if m.Scale <= 0 {
+		return 1
+	}
+	return m.Scale
+}
+
+// DumpTime simulates a collective dump from per-rank metrics: the dump
+// completes when the slowest node finishes (the primitive is collective).
+func (m Model) DumpTime(dumps []metrics.Dump) Breakdown {
+	nNodes := m.Nodes(len(dumps))
+	type nodeLoad struct {
+		hashed, sent, recv, stored, reduction int64
+		rounds                                int
+		ranks                                 int
+	}
+	nodes := make([]nodeLoad, nNodes)
+	for i, d := range dumps {
+		n := &nodes[m.nodeOf(i)]
+		n.hashed += d.HashedBytes
+		n.sent += d.SentBytes + d.LoadExchangeBytes
+		n.recv += d.RecvBytes
+		n.stored += d.StoredBytes + d.RecvBytes
+		n.reduction += d.ReductionBytes
+		if d.ReductionRounds > n.rounds {
+			n.rounds = d.ReductionRounds
+		}
+		n.ranks++
+	}
+	s := m.scale()
+	var worst Breakdown
+	var worstTotal float64
+	for _, n := range nodes {
+		var b Breakdown
+		// Hashing runs in parallel across the node's ranks; threads
+		// beyond the physical cores share them.
+		eff := float64(n.ranks)
+		if eff > float64(m.CoresPerNode) {
+			eff = float64(m.CoresPerNode)
+		}
+		if eff < 1 {
+			eff = 1
+		}
+		b.Hash = float64(n.hashed) * s / (m.HashRate * eff)
+		// Reduction: tree rounds pay latency; table traffic pays NIC and
+		// merge CPU. Table sizes are bounded by F, not by the dataset,
+		// so reduction bytes are NOT scaled by the data scale factor.
+		b.Reduce = float64(n.rounds)*m.RoundLatency +
+			float64(n.reduction)/m.NICBandwidth +
+			float64(n.reduction)/m.MergeRate
+		// Exchange: full duplex — the node is done when both directions
+		// drain.
+		send := float64(n.sent) * s / m.NICBandwidth
+		recv := float64(n.recv) * s / m.NICBandwidth
+		b.Exchange = send
+		if recv > send {
+			b.Exchange = recv
+		}
+		// Commit: everything stored hits the shared local disk.
+		b.Disk = float64(n.stored) * s / m.DiskWrite
+		if t := b.Total(); t > worstTotal {
+			worstTotal, worst = t, b
+		}
+	}
+	return worst
+}
+
+// ReduceOverhead simulates only the collective fingerprint reduction part
+// of a dump (Figure 3(b)/(c)): hash table traffic and rounds, relative to
+// a local-dedup baseline that pays neither.
+func (m Model) ReduceOverhead(dumps []metrics.Dump) float64 {
+	var worst float64
+	nNodes := m.Nodes(len(dumps))
+	perNode := make([]int64, nNodes)
+	rounds := 0
+	for i, d := range dumps {
+		perNode[m.nodeOf(i)] += d.ReductionBytes
+		if d.ReductionRounds > rounds {
+			rounds = d.ReductionRounds
+		}
+	}
+	for _, bytes := range perNode {
+		t := float64(rounds)*m.RoundLatency +
+			float64(bytes)/m.NICBandwidth +
+			float64(bytes)/m.MergeRate
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// PFSDumpTime simulates dumping every rank's full dataset to the
+// decoupled parallel file system instead of node-local storage: all bytes
+// funnel through the shared PFS pipe. This is the baseline architecture
+// the paper's introduction argues against.
+func (m Model) PFSDumpTime(dumps []metrics.Dump) float64 {
+	var total int64
+	for _, d := range dumps {
+		total += d.DatasetBytes
+	}
+	bw := m.PFSBandwidth
+	if bw <= 0 {
+		bw = 1e9
+	}
+	return float64(total) * m.scale() / bw
+}
+
+// RestoreTime simulates a restore: every rank reads its dataset back from
+// the local disk; missing chunks arrive over the network (recvBytes).
+func (m Model) RestoreTime(readBytes, recvBytes []int64, ranks int) float64 {
+	nNodes := m.Nodes(ranks)
+	disk := make([]int64, nNodes)
+	net := make([]int64, nNodes)
+	for r := 0; r < ranks; r++ {
+		if r < len(readBytes) {
+			disk[m.nodeOf(r)] += readBytes[r]
+		}
+		if r < len(recvBytes) {
+			net[m.nodeOf(r)] += recvBytes[r]
+		}
+	}
+	s := m.scale()
+	var worst float64
+	for i := range disk {
+		t := float64(disk[i])*s/m.DiskRead + float64(net[i])*s/m.NICBandwidth
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}

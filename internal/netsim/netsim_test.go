@@ -1,0 +1,145 @@
+package netsim
+
+import (
+	"testing"
+
+	"dedupcr/internal/metrics"
+)
+
+func uniformDumps(n int, d metrics.Dump) []metrics.Dump {
+	out := make([]metrics.Dump, n)
+	for i := range out {
+		d.Rank = i
+		out[i] = d
+	}
+	return out
+}
+
+func TestNodes(t *testing.T) {
+	m := Shamrock()
+	cases := map[int]int{1: 1, 12: 1, 13: 2, 408: 34}
+	for ranks, want := range cases {
+		if got := m.Nodes(ranks); got != want {
+			t.Errorf("Nodes(%d) = %d, want %d", ranks, got, want)
+		}
+	}
+}
+
+func TestDumpTimeScalesWithBytes(t *testing.T) {
+	m := Shamrock()
+	small := m.DumpTime(uniformDumps(24, metrics.Dump{
+		HashedBytes: 1 << 20, SentBytes: 1 << 20, RecvBytes: 1 << 20,
+		StoredBytes: 1 << 20,
+	})).Total()
+	big := m.DumpTime(uniformDumps(24, metrics.Dump{
+		HashedBytes: 1 << 24, SentBytes: 1 << 24, RecvBytes: 1 << 24,
+		StoredBytes: 1 << 24,
+	})).Total()
+	if big <= small {
+		t.Fatalf("16x bytes did not increase time: %g vs %g", big, small)
+	}
+	if ratio := big / small; ratio < 10 || ratio > 20 {
+		t.Errorf("time ratio = %.1f, expected ~16 (bandwidth-bound)", ratio)
+	}
+}
+
+func TestScaleMultipliesDataNotReduction(t *testing.T) {
+	base := metrics.Dump{
+		HashedBytes: 1 << 20, SentBytes: 1 << 20, RecvBytes: 1 << 20,
+		StoredBytes: 1 << 20, ReductionBytes: 1 << 16, ReductionRounds: 5,
+	}
+	m := Shamrock()
+	unscaled := m.DumpTime(uniformDumps(12, base))
+	m.Scale = 1000
+	scaled := m.DumpTime(uniformDumps(12, base))
+	if scaled.Disk <= 100*unscaled.Disk {
+		t.Errorf("disk time not scaled: %g vs %g", scaled.Disk, unscaled.Disk)
+	}
+	// Reduction traffic is bounded by F, not dataset size: unscaled.
+	if scaled.Reduce != unscaled.Reduce {
+		t.Errorf("reduction time must not scale with data: %g vs %g", scaled.Reduce, unscaled.Reduce)
+	}
+}
+
+func TestDumpTimeTakesWorstNode(t *testing.T) {
+	m := Shamrock()
+	m.RanksPerNode = 1
+	dumps := uniformDumps(4, metrics.Dump{StoredBytes: 1 << 20})
+	dumps[2].StoredBytes = 1 << 26 // one hot node
+	got := m.DumpTime(dumps)
+	want := m.DumpTime(uniformDumps(1, metrics.Dump{StoredBytes: 1 << 26}))
+	if got.Total() != want.Total() {
+		t.Fatalf("worst-node time %g != hot node alone %g", got.Total(), want.Total())
+	}
+}
+
+func TestExchangeIsFullDuplex(t *testing.T) {
+	m := Shamrock()
+	m.RanksPerNode = 1
+	sendOnly := m.DumpTime(uniformDumps(1, metrics.Dump{SentBytes: 1 << 24})).Exchange
+	both := m.DumpTime(uniformDumps(1, metrics.Dump{SentBytes: 1 << 24, RecvBytes: 1 << 24})).Exchange
+	if both != sendOnly {
+		t.Fatalf("full duplex: send+recv time %g should equal send-only %g", both, sendOnly)
+	}
+}
+
+func TestReduceOverheadGrowsWithRounds(t *testing.T) {
+	m := Shamrock()
+	shallow := m.ReduceOverhead(uniformDumps(8, metrics.Dump{ReductionBytes: 1 << 16, ReductionRounds: 3}))
+	deep := m.ReduceOverhead(uniformDumps(8, metrics.Dump{ReductionBytes: 1 << 16, ReductionRounds: 9}))
+	if deep <= shallow {
+		t.Fatalf("more rounds should cost more: %g vs %g", deep, shallow)
+	}
+}
+
+func TestHashParallelism(t *testing.T) {
+	// 12 ranks on 6 cores hash at 6x the single-core rate, not 12x.
+	m := Shamrock()
+	d := metrics.Dump{HashedBytes: 6 * 400e6} // 6s of single-core hashing
+	one := m.DumpTime(uniformDumps(1, d)).Hash
+	twelve := m.DumpTime(uniformDumps(12, d)).Hash
+	if one != 6.0 {
+		t.Fatalf("single-rank hash time = %g, want 6", one)
+	}
+	// 12 ranks × 6s of work over 6 cores = 12s.
+	if twelve != 12.0 {
+		t.Fatalf("12-rank hash time = %g, want 12", twelve)
+	}
+}
+
+func TestRestoreTime(t *testing.T) {
+	m := Shamrock()
+	m.RanksPerNode = 1
+	local := m.RestoreTime([]int64{1 << 24}, []int64{0}, 1)
+	remote := m.RestoreTime([]int64{1 << 24}, []int64{1 << 24}, 1)
+	if remote <= local {
+		t.Fatalf("network recovery must add time: %g vs %g", remote, local)
+	}
+}
+
+func TestShamrockMatchesPaperNoDedupMagnitude(t *testing.T) {
+	// Sanity-check the calibration against Table I: no-dedup at 408
+	// procs writes 1.5 GB/rank, sends and receives 2 copies, stores 3.
+	// The paper measured ~909s of checkpoint overhead (1188s - 279s).
+	m := Shamrock()
+	per := metrics.Dump{
+		HashedBytes: 0, // no-dedup skips hashing in the paper's setting
+		SentBytes:   2 * 1536 << 20,
+		RecvBytes:   2 * 1536 << 20,
+		StoredBytes: 1536 << 20,
+	}
+	got := m.DumpTime(uniformDumps(408, per)).Total()
+	if got < 600 || got > 1300 {
+		t.Fatalf("no-dedup 408-proc dump = %.0fs, expected the paper's ~909s regime", got)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Breakdown{Hash: 1, Reduce: 2, Exchange: 3, Disk: 4}
+	if b.Total() != 10 {
+		t.Fatalf("Total = %g", b.Total())
+	}
+	if s := b.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

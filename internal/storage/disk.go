@@ -1,0 +1,189 @@
+package storage
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"dedupcr/internal/fingerprint"
+)
+
+// diskStore is a Store backed by a directory on a real local device, used
+// by the socket-transport daemon and examples. Chunks live under
+// dir/chunks/<hex fp>; metadata blobs under dir/blobs/<name>.
+type diskStore struct {
+	mu     sync.Mutex
+	dir    string
+	refs   map[fingerprint.FP]int
+	bytes  int64
+	count  int
+	failed bool
+}
+
+// NewDisk opens (creating if needed) a disk-backed store rooted at dir.
+// An existing store directory is re-opened and its usage re-indexed.
+func NewDisk(dir string) (Store, error) {
+	for _, sub := range []string{"chunks", "blobs"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("storage: create %s: %w", sub, err)
+		}
+	}
+	s := &diskStore{dir: dir, refs: make(map[fingerprint.FP]int)}
+	entries, err := os.ReadDir(filepath.Join(dir, "chunks"))
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		raw, err := hex.DecodeString(e.Name())
+		if err != nil || len(raw) != fingerprint.Size {
+			continue // not a chunk file
+		}
+		var fp fingerprint.FP
+		copy(fp[:], raw)
+		s.refs[fp] = 1 // refcounts are not persisted; re-opened chunks get one reference
+		s.bytes += info.Size()
+		s.count++
+	}
+	return s, nil
+}
+
+func (s *diskStore) chunkPath(fp fingerprint.FP) string {
+	return filepath.Join(s.dir, "chunks", fp.String())
+}
+
+func (s *diskStore) PutChunk(fp fingerprint.FP, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed {
+		return ErrFailed
+	}
+	if n, ok := s.refs[fp]; ok {
+		s.refs[fp] = n + 1
+		return nil
+	}
+	if err := os.WriteFile(s.chunkPath(fp), data, 0o644); err != nil {
+		return fmt.Errorf("storage: write chunk %s: %w", fp.Short(), err)
+	}
+	s.refs[fp] = 1
+	s.bytes += int64(len(data))
+	s.count++
+	return nil
+}
+
+func (s *diskStore) GetChunk(fp fingerprint.FP) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed {
+		return nil, ErrFailed
+	}
+	if _, ok := s.refs[fp]; !ok {
+		return nil, fmt.Errorf("chunk %s: %w", fp.Short(), ErrNotFound)
+	}
+	data, err := os.ReadFile(s.chunkPath(fp))
+	if err != nil {
+		return nil, fmt.Errorf("storage: read chunk %s: %w", fp.Short(), err)
+	}
+	return data, nil
+}
+
+func (s *diskStore) HasChunk(fp fingerprint.FP) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed {
+		return false, ErrFailed
+	}
+	_, ok := s.refs[fp]
+	return ok, nil
+}
+
+func (s *diskStore) ReleaseChunk(fp fingerprint.FP) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed {
+		return ErrFailed
+	}
+	n, ok := s.refs[fp]
+	if !ok {
+		return fmt.Errorf("release chunk %s: %w", fp.Short(), ErrNotFound)
+	}
+	if n > 1 {
+		s.refs[fp] = n - 1
+		return nil
+	}
+	info, err := os.Stat(s.chunkPath(fp))
+	if err == nil {
+		s.bytes -= info.Size()
+	}
+	if err := os.Remove(s.chunkPath(fp)); err != nil {
+		return fmt.Errorf("storage: remove chunk %s: %w", fp.Short(), err)
+	}
+	delete(s.refs, fp)
+	s.count--
+	return nil
+}
+
+// Blob names may contain '/' separators; they map to subdirectories.
+func (s *diskStore) blobPath(name string) string {
+	return filepath.Join(s.dir, "blobs", filepath.FromSlash(name))
+}
+
+func (s *diskStore) PutBlob(name string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed {
+		return ErrFailed
+	}
+	path := s.blobPath(name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("storage: blob dir for %q: %w", name, err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("storage: write blob %q: %w", name, err)
+	}
+	return nil
+}
+
+func (s *diskStore) GetBlob(name string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed {
+		return nil, ErrFailed
+	}
+	buf, err := os.ReadFile(s.blobPath(name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("blob %q: %w", name, ErrNotFound)
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (s *diskStore) Usage() (int64, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes, s.count
+}
+
+func (s *diskStore) Fail() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failed = true
+	os.RemoveAll(filepath.Join(s.dir, "chunks"))
+	os.RemoveAll(filepath.Join(s.dir, "blobs"))
+	s.refs = nil
+	s.bytes = 0
+	s.count = 0
+}
+
+func (s *diskStore) Failed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}
