@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"dedupcr/internal/chunk"
 	"dedupcr/internal/fingerprint"
@@ -36,7 +37,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	var chunker chunk.Chunker = chunk.NewFixed(*chunkSize)
+	var chunker chunk.CutChunker = chunk.NewFixed(*chunkSize)
 	if *cdc {
 		chunker = chunk.NewContentDefined(*chunkSize)
 	}
@@ -44,17 +45,29 @@ func main() {
 	globalSize := make(map[fingerprint.FP]int64)
 	globalFreq := make(map[fingerprint.FP]int)
 	var total, localUnique int64
+	// The same phase decomposition the dump pipeline reports: read,
+	// boundary scan, hashing, dedup lookup.
+	var tRead, tChunk, tHash, tDedup time.Duration
 
 	fmt.Printf("%-40s %12s %12s %8s\n", "file", "size", "unique", "ratio")
 	for _, path := range flag.Args() {
+		start := time.Now()
 		data, err := os.ReadFile(path)
+		tRead += time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dedupstat: %v\n", err)
 			os.Exit(1)
 		}
+		start = time.Now()
+		cuts := chunker.Cuts(data)
+		tChunk += time.Since(start)
+		start = time.Now()
+		chunks := chunk.FromCuts(data, cuts)
+		tHash += time.Since(start)
 		seen := make(map[fingerprint.FP]bool)
 		var fileUnique int64
-		for _, ch := range chunker.Split(data) {
+		start = time.Now()
+		for _, ch := range chunks {
 			sz := int64(len(ch.Data))
 			total += sz
 			if !seen[ch.FP] {
@@ -64,6 +77,7 @@ func main() {
 			globalFreq[ch.FP]++
 			globalSize[ch.FP] = sz
 		}
+		tDedup += time.Since(start)
 		localUnique += fileUnique
 		fmt.Printf("%-40s %12s %12s %8s\n", trunc(path, 40),
 			metrics.Bytes(int64(len(data))), metrics.Bytes(fileUnique),
@@ -93,6 +107,21 @@ func main() {
 	fmt.Println("\nduplicate frequency histogram (occurrences -> distinct chunks):")
 	for _, f := range freqs {
 		fmt.Printf("%8d -> %d\n", f, hist[f])
+	}
+
+	// Per-phase timing: where the analysis spent its time, with the same
+	// labels the dump pipeline uses.
+	tTotal := tRead + tChunk + tHash + tDedup
+	fmt.Println("\nphase timing:")
+	for _, p := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"read", tRead}, {"chunking", tChunk}, {"fingerprint", tHash},
+		{"local-dedup", tDedup}, {"total", tTotal},
+	} {
+		fmt.Printf("%-12s %10s  %s\n", p.name, metrics.Duration(p.d),
+			metrics.Pct(int64(p.d), int64(tTotal)))
 	}
 }
 

@@ -34,7 +34,8 @@ func TestDedupstatSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatalf("run: %v\n%s", err, out)
 	}
-	for _, want := range []string{"local-unique", "global-unique", "histogram"} {
+	for _, want := range []string{"local-unique", "global-unique", "histogram",
+		"phase timing:", "chunking", "fingerprint", "local-dedup"} {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}

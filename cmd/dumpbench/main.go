@@ -18,14 +18,16 @@ import (
 	"time"
 
 	"dedupcr/internal/experiments"
+	"dedupcr/internal/trace"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	quick := flag.Bool("quick", false, "shrink process counts for a fast run")
 	verbose := flag.Bool("v", false, "print scenario progress to stderr")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of every scenario to this file (open in Perfetto)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dumpbench [-quick] [-v] <experiment-id>... | all\n")
+		fmt.Fprintf(os.Stderr, "usage: dumpbench [-quick] [-v] [-trace out.json] <experiment-id>... | all\n")
 		fmt.Fprintf(os.Stderr, "       dumpbench -list\n")
 		flag.PrintDefaults()
 	}
@@ -53,6 +55,9 @@ func main() {
 	}
 
 	cfg := experiments.Config{Quick: *quick, Verbose: *verbose}
+	if *traceOut != "" {
+		cfg.Trace = trace.New()
+	}
 	for _, id := range ids {
 		exp, ok := experiments.Lookup(id)
 		if !ok {
@@ -67,5 +72,13 @@ func main() {
 		}
 		fmt.Println(tab.Render())
 		fmt.Printf("(%s finished in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+	if cfg.Trace != nil {
+		if err := cfg.Trace.WriteFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "dumpbench: write trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d trace events to %s (coverage %.1f%% of traced wall time)\n",
+			len(cfg.Trace.Events()), *traceOut, 100*cfg.Trace.Coverage())
 	}
 }

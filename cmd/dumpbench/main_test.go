@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -39,5 +41,59 @@ func TestQuickSmoke(t *testing.T) {
 
 	if out, err := exec.Command(bin, "nonsense").CombinedOutput(); err == nil {
 		t.Errorf("unknown experiment accepted:\n%s", out)
+	}
+}
+
+// TestTraceOutput runs the phases experiment with -trace and verifies
+// the file is valid Chrome trace-event JSON whose spans cover the dump
+// pipeline.
+func TestTraceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a subprocess")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "dumpbench")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	traceFile := filepath.Join(dir, "out.json")
+	out, err := exec.Command(bin, "-quick", "-trace", traceFile, "phases").CombinedOutput()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	for _, want := range []string{"chunking", "window-wait", "sum of phases", "measured total", "wrote"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	seen := make(map[string]bool)
+	for _, e := range parsed.TraceEvents {
+		if e.Ph == "X" {
+			seen[e.Name] = true
+			if e.Dur < 0 {
+				t.Errorf("negative duration on %q", e.Name)
+			}
+		}
+	}
+	for _, want := range []string{"compute", "dump", "chunking", "fingerprint", "put", "window-wait", "commit"} {
+		if !seen[want] {
+			t.Errorf("trace missing span %q", want)
+		}
 	}
 }

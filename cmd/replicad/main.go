@@ -20,6 +20,9 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
@@ -27,7 +30,9 @@ import (
 	"dedupcr/internal/apps/hpccg"
 	"dedupcr/internal/collectives"
 	"dedupcr/internal/core"
+	"dedupcr/internal/metrics"
 	"dedupcr/internal/storage"
+	"dedupcr/internal/trace"
 )
 
 func main() {
@@ -45,6 +50,9 @@ func run() error {
 	approach := flag.String("approach", "coll", "no | local | coll")
 	name := flag.String("name", "ckpt", "dataset name")
 	chunkSize := flag.Int("chunk", 4096, "chunk size in bytes")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of this rank's run to this file")
+	stats := flag.Bool("stats", false, "dump Prometheus-style counters to stderr on exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: replicad -rank R -hosts FILE [flags] dump|restore [verb flags]\n")
 		flag.PrintDefaults()
@@ -63,6 +71,14 @@ func run() error {
 		return fmt.Errorf("rank %d out of range for %d hosts", *rank, len(addrs))
 	}
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "replicad: pprof: %v\n", err)
+			}
+		}()
+	}
+
 	var store storage.Store
 	if *storeDir != "" {
 		store, err = storage.NewDisk(*storeDir)
@@ -71,6 +87,21 @@ func run() error {
 		}
 	} else {
 		store = storage.NewMem()
+	}
+	// With -stats, every store operation's latency is histogrammed so the
+	// exit dump can report device-side quantiles next to the phase times.
+	var timed *storage.Timed
+	if *stats {
+		timed = storage.NewTimed(store)
+		store = timed
+	}
+
+	var tr *trace.Trace
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		tr = trace.New()
+		tr.NamePid(1, "replicad")
+		rec = tr.Recorder(1, *rank, fmt.Sprintf("rank %d", *rank))
 	}
 
 	comm, err := collectives.DialTCP(*rank, addrs)
@@ -90,21 +121,91 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown approach %q", *approach)
 	}
-	opts := core.Options{K: *k, Approach: ap, ChunkSize: *chunkSize, Name: *name}
+	opts := core.Options{K: *k, Approach: ap, ChunkSize: *chunkSize, Name: *name, Trace: rec}
 
 	verb := flag.Arg(0)
 	verbArgs := flag.Args()[1:]
 	switch verb {
 	case "dump":
-		return doDump(comm, store, opts, verbArgs)
+		err = doDump(comm, store, opts, verbArgs, *stats)
 	case "restore":
-		return doRestore(comm, store, *name, verbArgs)
+		err = doRestore(comm, store, *name, verbArgs, rec)
 	default:
 		return fmt.Errorf("unknown verb %q (want dump or restore)", verb)
 	}
+	if err != nil {
+		return err
+	}
+	if *stats {
+		writeCommStats(os.Stderr, *rank, comm.Stats())
+		writeStoreStats(os.Stderr, *rank, timed)
+	}
+	if tr != nil {
+		if err := tr.WriteFile(*traceOut); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "replicad: wrote %d trace events to %s\n", len(tr.Events()), *traceOut)
+	}
+	return nil
 }
 
-func doDump(comm collectives.Comm, store storage.Store, opts core.Options, args []string) error {
+// writeCommStats emits the transport counters in Prometheus exposition
+// format, per-peer counters included.
+func writeCommStats(w io.Writer, rank int, s collectives.Stats) {
+	label := fmt.Sprintf("rank=%q", fmt.Sprint(rank))
+	fmt.Fprintln(w, "# TYPE dedupcr_comm_sent_bytes_total counter")
+	fmt.Fprintf(w, "dedupcr_comm_sent_bytes_total{%s} %d\n", label, s.BytesSent)
+	fmt.Fprintln(w, "# TYPE dedupcr_comm_recv_bytes_total counter")
+	fmt.Fprintf(w, "dedupcr_comm_recv_bytes_total{%s} %d\n", label, s.BytesRecv)
+	fmt.Fprintln(w, "# TYPE dedupcr_comm_sent_msgs_total counter")
+	fmt.Fprintf(w, "dedupcr_comm_sent_msgs_total{%s} %d\n", label, s.MsgsSent)
+	fmt.Fprintln(w, "# TYPE dedupcr_comm_recv_msgs_total counter")
+	fmt.Fprintf(w, "dedupcr_comm_recv_msgs_total{%s} %d\n", label, s.MsgsRecv)
+	fmt.Fprintln(w, "# TYPE dedupcr_comm_collective_ops_total counter")
+	fmt.Fprintf(w, "dedupcr_comm_collective_ops_total{%s} %d\n", label, s.CollOps)
+	fmt.Fprintln(w, "# TYPE dedupcr_comm_collective_rounds_total counter")
+	fmt.Fprintf(w, "dedupcr_comm_collective_rounds_total{%s} %d\n", label, s.CollRounds)
+	fmt.Fprintln(w, "# TYPE dedupcr_comm_collective_seconds_total counter")
+	fmt.Fprintf(w, "dedupcr_comm_collective_seconds_total{%s} %g\n", label, s.CollTime.Seconds())
+	if len(s.Peers) > 0 {
+		fmt.Fprintln(w, "# TYPE dedupcr_comm_peer_sent_bytes_total counter")
+		for p, ps := range s.Peers {
+			if ps.BytesSent != 0 || ps.MsgsSent != 0 {
+				fmt.Fprintf(w, "dedupcr_comm_peer_sent_bytes_total{%s,peer=\"%d\"} %d\n", label, p, ps.BytesSent)
+			}
+		}
+		fmt.Fprintln(w, "# TYPE dedupcr_comm_peer_recv_bytes_total counter")
+		for p, ps := range s.Peers {
+			if ps.BytesRecv != 0 || ps.MsgsRecv != 0 {
+				fmt.Fprintf(w, "dedupcr_comm_peer_recv_bytes_total{%s,peer=\"%d\"} %d\n", label, p, ps.BytesRecv)
+			}
+		}
+	}
+}
+
+// writeStoreStats emits store read/write latency summaries.
+func writeStoreStats(w io.Writer, rank int, t *storage.Timed) {
+	if t == nil {
+		return
+	}
+	emit := func(name string, h *metrics.Histogram) {
+		if h.Count() == 0 {
+			return
+		}
+		label := fmt.Sprintf("rank=%q", fmt.Sprint(rank))
+		fmt.Fprintf(w, "# TYPE %s summary\n", name)
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			fmt.Fprintf(w, "%s{%s,quantile=\"%g\"} %g\n", name, label, q,
+				float64(h.Quantile(q))/1e9)
+		}
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, label, float64(h.Sum())/1e9)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, label, h.Count())
+	}
+	emit("dedupcr_store_read_latency_seconds", t.ReadLatency())
+	emit("dedupcr_store_write_latency_seconds", t.WriteLatency())
+}
+
+func doDump(comm collectives.Comm, store storage.Store, opts core.Options, args []string, stats bool) error {
 	fs := flag.NewFlagSet("dump", flag.ExitOnError)
 	workload := fs.String("workload", "", "generate a workload checkpoint: hpccg | cm1")
 	in := fs.String("in", "", "dump this file instead of a generated workload")
@@ -145,16 +246,26 @@ func doDump(comm collectives.Comm, store storage.Store, opts core.Options, args 
 	fmt.Printf("rank %d: dumped %d bytes (%d chunks, %d locally unique); stored %d, sent %d, received %d\n",
 		comm.Rank(), m.DatasetBytes, m.TotalChunks, m.LocalUniqueChunks,
 		m.StoredBytes, m.SentBytes, m.RecvBytes)
+	fmt.Printf("rank %d: phases:", comm.Rank())
+	for _, name := range metrics.PhaseNames {
+		if d := m.Phases.ByName(name); d > 0 {
+			fmt.Printf(" %s=%s", name, metrics.Duration(d))
+		}
+	}
+	fmt.Printf(" total=%s\n", metrics.Duration(m.Phases.Total))
+	if stats {
+		m.WritePrometheus(os.Stderr)
+	}
 	return nil
 }
 
-func doRestore(comm collectives.Comm, store storage.Store, name string, args []string) error {
+func doRestore(comm collectives.Comm, store storage.Store, name string, args []string, rec *trace.Recorder) error {
 	fs := flag.NewFlagSet("restore", flag.ExitOnError)
 	out := fs.String("out", "", "write the restored dataset to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	buf, err := core.Restore(comm, store, name)
+	buf, err := core.RestoreWithTrace(comm, store, name, rec)
 	if err != nil {
 		return err
 	}

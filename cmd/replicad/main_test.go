@@ -63,6 +63,8 @@ func TestEndToEndMultiProcess(t *testing.T) {
 					"-k", "3",
 					"-approach", "coll",
 					"-chunk", "256",
+					"-stats",
+					"-trace", filepath.Join(dir, fmt.Sprintf("trace%d.json", rank)),
 					verb,
 				}
 				args = append(args, extra...)
@@ -81,11 +83,28 @@ func TestEndToEndMultiProcess(t *testing.T) {
 		return outputs
 	}
 
-	// Phase 1: collective dump of an HPCCG checkpoint (small grid).
+	// Phase 1: collective dump of an HPCCG checkpoint (small grid), with
+	// the observability surface on: per-phase line, Prometheus counters,
+	// and a Chrome trace per rank.
 	outs := runAll("dump", "-workload", "hpccg", "-steps", "2")
 	for r, out := range outs {
 		if !strings.Contains(out, "dumped") {
 			t.Errorf("rank %d dump output: %q", r, out)
+		}
+		if !strings.Contains(out, "phases:") || !strings.Contains(out, "total=") {
+			t.Errorf("rank %d dump output missing phase breakdown: %q", r, out)
+		}
+		if !strings.Contains(out, "dedupcr_phase_seconds") {
+			t.Errorf("rank %d missing Prometheus phase metrics: %q", r, out)
+		}
+		if !strings.Contains(out, "dedupcr_comm_sent_bytes_total") {
+			t.Errorf("rank %d missing Prometheus comm metrics: %q", r, out)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("trace%d.json", r)))
+		if err != nil {
+			t.Errorf("rank %d trace file: %v", r, err)
+		} else if !strings.Contains(string(data), `"traceEvents"`) {
+			t.Errorf("rank %d trace file lacks traceEvents: %.80s", r, data)
 		}
 	}
 

@@ -1,7 +1,5 @@
 package chunk
 
-import "dedupcr/internal/fingerprint"
-
 // ContentDefined is a content-defined chunker using a rolling Rabin-style
 // fingerprint over a sliding window, the scheme of LBFS-like systems cited
 // as related work. Cut points are positions where the rolling hash matches
@@ -54,12 +52,16 @@ func NewContentDefined(avg int) *ContentDefined {
 
 // Split implements Chunker.
 func (c *ContentDefined) Split(buf []byte) []Chunk {
-	var out []Chunk
-	for len(buf) > 0 {
-		cut := c.cutPoint(buf)
-		data := buf[:cut]
-		out = append(out, Chunk{FP: fingerprint.Of(data), Data: data})
-		buf = buf[cut:]
+	return FromCuts(buf, c.Cuts(buf))
+}
+
+// Cuts implements CutChunker.
+func (c *ContentDefined) Cuts(buf []byte) []int {
+	var out []int
+	off := 0
+	for off < len(buf) {
+		off += c.cutPoint(buf[off:])
+		out = append(out, off)
 	}
 	return out
 }

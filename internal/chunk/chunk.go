@@ -31,6 +31,30 @@ type Chunker interface {
 	Split(buf []byte) []Chunk
 }
 
+// CutChunker is a Chunker whose boundary scan is separable from
+// fingerprinting, letting instrumented callers time the two phases
+// independently (the paper's evaluation attributes them separately).
+// Both chunkers in this package implement it.
+type CutChunker interface {
+	Chunker
+	// Cuts returns the end offset of every chunk of buf, ascending, the
+	// last one len(buf). An empty buf yields no cuts.
+	Cuts(buf []byte) []int
+}
+
+// FromCuts fingerprints the chunks delimited by the given end offsets
+// (as returned by Cuts) into Chunk values aliasing buf.
+func FromCuts(buf []byte, cuts []int) []Chunk {
+	out := make([]Chunk, len(cuts))
+	prev := 0
+	for i, end := range cuts {
+		data := buf[prev:end]
+		out[i] = Chunk{FP: fingerprint.Of(data), Data: data}
+		prev = end
+	}
+	return out
+}
+
 // Fixed is a fixed-size chunker. A trailing partial chunk is kept as-is
 // (shorter than Size), mirroring how a final partial page is dumped.
 type Fixed struct {
@@ -47,19 +71,23 @@ func NewFixed(size int) Fixed {
 
 // Split implements Chunker.
 func (c Fixed) Split(buf []byte) []Chunk {
+	return FromCuts(buf, c.Cuts(buf))
+}
+
+// Cuts implements CutChunker.
+func (c Fixed) Cuts(buf []byte) []int {
 	size := c.Size
 	if size <= 0 {
 		size = DefaultSize
 	}
 	n := (len(buf) + size - 1) / size
-	out := make([]Chunk, 0, n)
+	out := make([]int, 0, n)
 	for off := 0; off < len(buf); off += size {
 		end := off + size
 		if end > len(buf) {
 			end = len(buf)
 		}
-		data := buf[off:end]
-		out = append(out, Chunk{FP: fingerprint.Of(data), Data: data})
+		out = append(out, end)
 	}
 	return out
 }

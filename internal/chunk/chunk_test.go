@@ -213,3 +213,42 @@ func TestContentDefinedDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestCutsMatchSplit pins the CutChunker contract: Cuts + FromCuts must
+// produce exactly what Split produces, for both chunkers, so the
+// instrumented dump path (which times the two halves separately) cannot
+// drift from the plain one.
+func TestCutsMatchSplit(t *testing.T) {
+	buf := make([]byte, 40*1024+123)
+	rand.New(rand.NewSource(7)).Read(buf)
+	chunkers := map[string]CutChunker{
+		"fixed": NewFixed(4096),
+		"cdc":   NewContentDefined(1024),
+	}
+	for name, c := range chunkers {
+		cuts := c.Cuts(buf)
+		if len(cuts) == 0 || cuts[len(cuts)-1] != len(buf) {
+			t.Fatalf("%s: cuts do not cover buf: %v", name, cuts)
+		}
+		prev := 0
+		for i, end := range cuts {
+			if end <= prev {
+				t.Fatalf("%s: cut %d (%d) not ascending from %d", name, i, end, prev)
+			}
+			prev = end
+		}
+		got := FromCuts(buf, cuts)
+		want := c.Split(buf)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d chunks via cuts, %d via Split", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].FP != want[i].FP || len(got[i].Data) != len(want[i].Data) {
+				t.Fatalf("%s: chunk %d differs", name, i)
+			}
+		}
+	}
+	if cuts := NewFixed(512).Cuts(nil); len(cuts) != 0 {
+		t.Errorf("empty buf produced cuts %v", cuts)
+	}
+}

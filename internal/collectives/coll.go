@@ -3,6 +3,7 @@ package collectives
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 )
 
 // collTag derives the tag for one collective call: the op id and the
@@ -22,11 +23,21 @@ const (
 	opReduce
 )
 
+// recordColl files one finished collective call's round count and wall
+// time with the transport's statsCounter, when it has one.
+func recordColl(c Comm, rounds int, start time.Time) {
+	if sc, ok := c.(collRecorder); ok {
+		sc.countColl(rounds, time.Since(start))
+	}
+}
+
 // Barrier blocks until every rank of c has entered it. It uses a
 // dissemination barrier: ceil(log2 N) rounds of pairwise signals.
 func Barrier(c Comm) error {
 	tag := collTag(opBarrier, c.NextSeq())
 	n, me := c.Size(), c.Rank()
+	start := time.Now()
+	rounds := 0
 	for dist := 1; dist < n; dist *= 2 {
 		to := (me + dist) % n
 		from := (me - dist + n) % n
@@ -36,7 +47,9 @@ func Barrier(c Comm) error {
 		if _, err := c.Recv(from, tag); err != nil {
 			return fmt.Errorf("barrier recv: %w", err)
 		}
+		rounds++
 	}
+	recordColl(c, rounds, start)
 	return nil
 }
 
@@ -48,6 +61,8 @@ func Bcast(c Comm, root int, data []byte) ([]byte, error) {
 	}
 	tag := collTag(opBcast, c.NextSeq())
 	n := c.Size()
+	start := time.Now()
+	rounds := 0
 	// Work in a rotated space where root is rank 0.
 	vrank := (c.Rank() - root + n) % n
 
@@ -59,6 +74,7 @@ func Bcast(c Comm, root int, data []byte) ([]byte, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bcast recv: %w", err)
 		}
+		rounds++
 	}
 	// Forward to children: vrank + 2^k for every k above our lowest set
 	// bit boundary.
@@ -68,8 +84,10 @@ func Bcast(c Comm, root int, data []byte) ([]byte, error) {
 			if err := c.Send((child+root)%n, tag, data); err != nil {
 				return nil, fmt.Errorf("bcast send: %w", err)
 			}
+			rounds++
 		}
 	}
+	recordColl(c, rounds, start)
 	return data, nil
 }
 
@@ -99,10 +117,12 @@ func Gather(c Comm, root int, mine []byte) ([][]byte, error) {
 		return nil, err
 	}
 	tag := collTag(opGather, c.NextSeq())
+	start := time.Now()
 	if c.Rank() != root {
 		if err := c.Send(root, tag, mine); err != nil {
 			return nil, fmt.Errorf("gather send: %w", err)
 		}
+		recordColl(c, 1, start)
 		return nil, nil
 	}
 	out := make([][]byte, c.Size())
@@ -117,6 +137,7 @@ func Gather(c Comm, root int, mine []byte) ([][]byte, error) {
 		}
 		out[r] = data
 	}
+	recordColl(c, c.Size()-1, start)
 	return out, nil
 }
 
@@ -127,9 +148,11 @@ func Gather(c Comm, root int, mine []byte) ([][]byte, error) {
 func Allgather(c Comm, mine []byte) ([][]byte, error) {
 	tag := collTag(opAllgather, c.NextSeq())
 	n, me := c.Size(), c.Rank()
+	start := time.Now()
 	out := make([][]byte, n)
 	out[me] = append([]byte(nil), mine...)
 	if n == 1 {
+		recordColl(c, 0, start)
 		return out, nil
 	}
 	right := (me + 1) % n
@@ -147,6 +170,7 @@ func Allgather(c Comm, mine []byte) ([][]byte, error) {
 		}
 		out[recvIdx] = data
 	}
+	recordColl(c, n-1, start)
 	return out, nil
 }
 
@@ -176,16 +200,31 @@ func Reduce(c Comm, root int, mine []byte, merge MergeFunc) ([]byte, error) {
 	}
 	tag := collTag(opReduce, c.NextSeq())
 	n := c.Size()
+	start := time.Now()
 	vrank := (c.Rank() - root + n) % n
 	acc := mine
 
+	// Per-round durations of the HMERGE tree: the paper's Figure 3(b)/(c)
+	// evaluation attributes reduction cost round by round, so each tree
+	// level this rank participates in is timed individually and surfaced
+	// via Stats.ReduceRounds.
+	var roundTimes []time.Duration
+	finish := func() {
+		if sc, ok := c.(collRecorder); ok {
+			sc.setReduceRounds(roundTimes)
+			sc.countColl(len(roundTimes), time.Since(start))
+		}
+	}
 	for mask := 1; mask < n; mask *= 2 {
+		roundStart := time.Now()
 		if vrank&mask != 0 {
 			// Send accumulator to the subtree parent and leave.
 			parent := (vrank - mask + root) % n
 			if err := c.Send(parent, tag, acc); err != nil {
 				return nil, fmt.Errorf("reduce send: %w", err)
 			}
+			roundTimes = append(roundTimes, time.Since(roundStart))
+			finish()
 			return nil, nil
 		}
 		child := vrank + mask
@@ -199,7 +238,9 @@ func Reduce(c Comm, root int, mine []byte, merge MergeFunc) ([]byte, error) {
 				return nil, fmt.Errorf("reduce merge: %w", err)
 			}
 		}
+		roundTimes = append(roundTimes, time.Since(roundStart))
 	}
+	finish()
 	return acc, nil
 }
 

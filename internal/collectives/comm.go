@@ -13,7 +13,9 @@ package collectives
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Tag labels a message stream between two ranks. User tags must be below
@@ -72,33 +74,133 @@ type Stats struct {
 	BytesRecv int64
 	MsgsSent  int64
 	MsgsRecv  int64
+	// CollOps, CollRounds and CollTime aggregate the collective calls
+	// this rank participated in: one op per Barrier/Bcast/Gather/
+	// Allgather/Reduce entered, the rounds it personally ran, and the
+	// wall time it spent inside them.
+	CollOps    int64
+	CollRounds int64
+	CollTime   time.Duration
+	// ReduceRounds holds the per-round durations of this rank's most
+	// recent Reduce (or the reduction half of an Allreduce): the
+	// per-round timing of the paper's HMERGE tree. A rank that leaves
+	// the tree early reports only the rounds it ran.
+	ReduceRounds []time.Duration
+	// Peers breaks traffic down by peer rank (index = rank). Self
+	// traffic stays uncounted, like the totals. Receives of wildcard
+	// (window) traffic are attributed where the transport knows the
+	// sender: TCP counts them on the delivering connection, while the
+	// in-process transport files them under the wildcard and only the
+	// totals see them — sender-side attribution is exact on both.
+	Peers []PeerStats
+}
+
+// PeerStats is one peer's slice of a rank's transport traffic.
+type PeerStats struct {
+	BytesSent int64
+	BytesRecv int64
+	MsgsSent  int64
+	MsgsRecv  int64
 }
 
 // statsCounter is embedded by transports to track Stats atomically.
+// initPeers must be called once at construction with the group size.
 type statsCounter struct {
+	bytesSent atomic.Int64
+	bytesRecv atomic.Int64
+	msgsSent  atomic.Int64
+	msgsRecv  atomic.Int64
+
+	collOps    atomic.Int64
+	collRounds atomic.Int64
+	collNanos  atomic.Int64
+
+	peers []peerCounter
+
+	reduceMu     sync.Mutex
+	reduceRounds []time.Duration
+}
+
+// peerCounter is the per-peer slice of a statsCounter.
+type peerCounter struct {
 	bytesSent atomic.Int64
 	bytesRecv atomic.Int64
 	msgsSent  atomic.Int64
 	msgsRecv  atomic.Int64
 }
 
-func (s *statsCounter) countSend(n int) {
-	s.bytesSent.Add(int64(n))
-	s.msgsSent.Add(1)
+func (s *statsCounter) initPeers(n int) {
+	s.peers = make([]peerCounter, n)
 }
 
-func (s *statsCounter) countRecv(n int) {
+func (s *statsCounter) countSend(to, n int) {
+	s.bytesSent.Add(int64(n))
+	s.msgsSent.Add(1)
+	if to >= 0 && to < len(s.peers) {
+		s.peers[to].bytesSent.Add(int64(n))
+		s.peers[to].msgsSent.Add(1)
+	}
+}
+
+func (s *statsCounter) countRecv(from, n int) {
 	s.bytesRecv.Add(int64(n))
 	s.msgsRecv.Add(1)
+	if from >= 0 && from < len(s.peers) {
+		s.peers[from].bytesRecv.Add(int64(n))
+		s.peers[from].msgsRecv.Add(1)
+	}
+}
+
+// countColl records one finished collective op: how many rounds this rank
+// ran and how long it spent inside the call.
+func (s *statsCounter) countColl(rounds int, d time.Duration) {
+	s.collOps.Add(1)
+	s.collRounds.Add(int64(rounds))
+	s.collNanos.Add(d.Nanoseconds())
+}
+
+// setReduceRounds replaces the per-round timing record of the most recent
+// reduction.
+func (s *statsCounter) setReduceRounds(rounds []time.Duration) {
+	s.reduceMu.Lock()
+	s.reduceRounds = rounds
+	s.reduceMu.Unlock()
 }
 
 func (s *statsCounter) snapshot() Stats {
-	return Stats{
-		BytesSent: s.bytesSent.Load(),
-		BytesRecv: s.bytesRecv.Load(),
-		MsgsSent:  s.msgsSent.Load(),
-		MsgsRecv:  s.msgsRecv.Load(),
+	st := Stats{
+		BytesSent:  s.bytesSent.Load(),
+		BytesRecv:  s.bytesRecv.Load(),
+		MsgsSent:   s.msgsSent.Load(),
+		MsgsRecv:   s.msgsRecv.Load(),
+		CollOps:    s.collOps.Load(),
+		CollRounds: s.collRounds.Load(),
+		CollTime:   time.Duration(s.collNanos.Load()),
 	}
+	s.reduceMu.Lock()
+	st.ReduceRounds = append([]time.Duration(nil), s.reduceRounds...)
+	s.reduceMu.Unlock()
+	if len(s.peers) > 0 {
+		st.Peers = make([]PeerStats, len(s.peers))
+		for i := range s.peers {
+			st.Peers[i] = PeerStats{
+				BytesSent: s.peers[i].bytesSent.Load(),
+				BytesRecv: s.peers[i].bytesRecv.Load(),
+				MsgsSent:  s.peers[i].msgsSent.Load(),
+				MsgsRecv:  s.peers[i].msgsRecv.Load(),
+			}
+		}
+	}
+	return st
+}
+
+// collRecorder is the internal hook the collective algorithms use to
+// surface round timings through Stats. Both transports implement it by
+// embedding statsCounter; third-party Comm implementations simply miss
+// out on collective timing.
+type collRecorder interface {
+	countColl(rounds int, d time.Duration)
+	setReduceRounds(rounds []time.Duration)
 }
 
 // checkPeer validates a peer rank.

@@ -33,7 +33,9 @@ func (g *Group) Comm(rank int) (*InprocComm, error) {
 	if rank < 0 || rank >= g.size {
 		return nil, fmt.Errorf("collectives: rank %d out of range [0,%d)", rank, g.size)
 	}
-	return &InprocComm{group: g, rank: rank}, nil
+	c := &InprocComm{group: g, rank: rank}
+	c.initPeers(g.size)
+	return c, nil
 }
 
 // Close shuts the group down; blocked receivers fail with ErrClosed.
@@ -81,7 +83,7 @@ func (c *InprocComm) Send(to int, tag Tag, data []byte) error {
 	copy(msg, data)
 	c.group.boxes[to].put(c.rank, tag, msg)
 	if to != c.rank {
-		c.countSend(len(data))
+		c.countSend(to, len(data))
 	}
 	return nil
 }
@@ -96,7 +98,7 @@ func (c *InprocComm) Recv(from int, tag Tag) ([]byte, error) {
 		return nil, err
 	}
 	if from != c.rank {
-		c.countRecv(len(data))
+		c.countRecv(from, len(data))
 	}
 	return data, nil
 }

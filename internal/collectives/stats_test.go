@@ -1,0 +1,166 @@
+package collectives
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPerPeerStats verifies that the expanded Stats attribute traffic to
+// the correct peers on the in-process transport and that totals stay
+// consistent with the per-peer breakdown.
+func TestPerPeerStats(t *testing.T) {
+	const n = 4
+	g, err := NewGroup(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	comms := make([]*InprocComm, n)
+	for r := range comms {
+		comms[r], err = g.Comm(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Rank 0 sends distinct payloads to 1, 2, 2 (two messages to rank 2).
+	payload := func(k int) []byte { return make([]byte, 100*k) }
+	if err := comms[0].Send(1, 7, payload(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := comms[0].Send(2, 7, payload(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := comms[0].Send(2, 7, payload(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := comms[1].Recv(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := comms[2].Recv(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := comms[2].Recv(0, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	s0 := comms[0].Stats()
+	if len(s0.Peers) != n {
+		t.Fatalf("rank 0 Peers has %d entries, want %d", len(s0.Peers), n)
+	}
+	if s0.Peers[1].BytesSent != 100 || s0.Peers[1].MsgsSent != 1 {
+		t.Errorf("peer 1 send stats = %+v", s0.Peers[1])
+	}
+	if s0.Peers[2].BytesSent != 500 || s0.Peers[2].MsgsSent != 2 {
+		t.Errorf("peer 2 send stats = %+v", s0.Peers[2])
+	}
+	var perPeerSent int64
+	for _, p := range s0.Peers {
+		perPeerSent += p.BytesSent
+	}
+	if perPeerSent != s0.BytesSent {
+		t.Errorf("per-peer sent %d != total sent %d", perPeerSent, s0.BytesSent)
+	}
+	s2 := comms[2].Stats()
+	if s2.Peers[0].BytesRecv != 500 || s2.Peers[0].MsgsRecv != 2 {
+		t.Errorf("rank 2 recv-from-0 stats = %+v", s2.Peers[0])
+	}
+}
+
+// TestCollectiveTimings verifies that collective calls surface round
+// counts and wall time through Stats, and that Reduce records per-round
+// durations of the merge tree.
+func TestCollectiveTimings(t *testing.T) {
+	const n = 8
+	type snap struct {
+		rank  int
+		stats Stats
+	}
+	results := make([]snap, n)
+	err := Run(n, func(c Comm) error {
+		if err := Barrier(c); err != nil {
+			return err
+		}
+		concat := func(acc, other []byte) ([]byte, error) {
+			return append(append([]byte(nil), acc...), other...), nil
+		}
+		if _, err := Allreduce(c, []byte{byte(c.Rank())}, concat); err != nil {
+			return err
+		}
+		results[c.Rank()] = snap{c.Rank(), c.Stats()}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		s := r.stats
+		// Barrier (3 rounds at n=8) + Reduce + Bcast from the Allreduce.
+		if s.CollOps < 3 {
+			t.Errorf("rank %d: CollOps = %d, want >= 3", r.rank, s.CollOps)
+		}
+		if s.CollRounds < 3 {
+			t.Errorf("rank %d: CollRounds = %d, want >= 3 (barrier alone)", r.rank, s.CollRounds)
+		}
+		if s.CollTime <= 0 {
+			t.Errorf("rank %d: CollTime = %v, want > 0", r.rank, s.CollTime)
+		}
+		if len(s.ReduceRounds) == 0 {
+			t.Errorf("rank %d: no ReduceRounds recorded", r.rank)
+		}
+		// Rank 0 is the reduction root and runs every tree level.
+		if r.rank == 0 && len(s.ReduceRounds) != 3 {
+			t.Errorf("root: %d reduce rounds, want 3 (ceil log2 8)", len(s.ReduceRounds))
+		}
+		// Odd ranks leave after round one.
+		if r.rank%2 == 1 && len(s.ReduceRounds) != 1 {
+			t.Errorf("rank %d: %d reduce rounds, want 1", r.rank, len(s.ReduceRounds))
+		}
+	}
+}
+
+// TestWindowStats verifies put/wait accounting and the OnPut hook.
+func TestWindowStats(t *testing.T) {
+	const n = 2
+	stats := make([]WindowStats, n)
+	hooked := make([]int, n)
+	err := Run(n, func(c Comm) error {
+		me := c.Rank()
+		peer := 1 - me
+		win := OpenWindow(c, 12, c.NextSeq())
+		win.OnPut = func(bytes int, d time.Duration) {
+			hooked[me] += bytes
+			if d < 0 {
+				t.Errorf("negative put latency %v", d)
+			}
+		}
+		if err := win.Put(peer, 0, []byte("abcd")); err != nil {
+			return err
+		}
+		if err := win.Put(peer, 4, []byte("efgh")); err != nil {
+			return err
+		}
+		if err := win.Put(me, 8, []byte("ijkl")); err != nil {
+			return err
+		}
+		if _, err := win.Wait(); err != nil {
+			return err
+		}
+		stats[me] = win.Stats()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, s := range stats {
+		if s.Puts != 3 || s.PutBytes != 12 {
+			t.Errorf("rank %d: %+v, want 3 puts of 12 bytes", r, s)
+		}
+		if s.WaitTime < 0 {
+			t.Errorf("rank %d: negative wait time", r)
+		}
+		if hooked[r] != 12 {
+			t.Errorf("rank %d: OnPut saw %d bytes, want 12", r, hooked[r])
+		}
+	}
+}

@@ -68,6 +68,7 @@ func newTCPComm(rank int, addrs []string, ln net.Listener) *TCPComm {
 		box:      newMailbox(),
 		conns:    make(map[int]*tcpSender),
 	}
+	c.initPeers(len(addrs))
 	// Record the actual address in case addrs[rank] used port 0.
 	c.addrs[rank] = ln.Addr().String()
 	c.wg.Add(1)
@@ -132,7 +133,7 @@ func (c *TCPComm) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}
-		c.countRecv(len(payload))
+		c.countRecv(from, len(payload))
 		c.box.put(from, tag, payload)
 	}
 }
@@ -203,7 +204,7 @@ func (c *TCPComm) Send(to int, tag Tag, data []byte) error {
 	if _, err := s.conn.Write(data); err != nil {
 		return fmt.Errorf("collectives: send payload to rank %d: %w", to, err)
 	}
-	c.countSend(len(data))
+	c.countSend(to, len(data))
 	return nil
 }
 

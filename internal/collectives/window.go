@@ -3,6 +3,7 @@ package collectives
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 )
 
 // Window is a one-sided communication window: a byte region a rank exposes
@@ -26,6 +27,30 @@ type Window struct {
 	tag    Tag
 	buf    []byte
 	filled int64
+
+	// OnPut, when set before the first Put, observes every put's payload
+	// size and wall-clock latency (including transport blocking). The
+	// dump pipeline points it at a latency histogram.
+	OnPut func(bytes int, d time.Duration)
+
+	puts     int
+	putBytes int64
+	waitTime time.Duration
+}
+
+// WindowStats reports what one window epoch did: outbound puts (remote
+// and local) and the time spent draining the own window.
+type WindowStats struct {
+	// Puts and PutBytes count this rank's outgoing Put calls.
+	Puts     int
+	PutBytes int64
+	// WaitTime is the wall time Wait spent until the window was full.
+	WaitTime time.Duration
+}
+
+// Stats returns the window's instrumentation. Call it after Wait.
+func (w *Window) Stats() WindowStats {
+	return WindowStats{Puts: w.puts, PutBytes: w.putBytes, WaitTime: w.waitTime}
 }
 
 // windowTag derives the tag for a window epoch. Epochs must be issued in
@@ -48,6 +73,19 @@ func (w *Window) Put(target int, offset int64, data []byte) error {
 	if err := checkPeer(w.comm, target); err != nil {
 		return err
 	}
+	start := time.Now()
+	err := w.put(target, offset, data)
+	if err == nil {
+		w.puts++
+		w.putBytes += int64(len(data))
+		if w.OnPut != nil {
+			w.OnPut(len(data), time.Since(start))
+		}
+	}
+	return err
+}
+
+func (w *Window) put(target int, offset int64, data []byte) error {
 	if target == w.comm.Rank() {
 		// Local put: write directly.
 		return w.deposit(offset, data)
@@ -81,6 +119,8 @@ func (w *Window) deposit(offset int64, data []byte) error {
 // it counts bytes, so overlapping puts would stall or overfill, both of
 // which are reported as errors.
 func (w *Window) Wait() ([]byte, error) {
+	start := time.Now()
+	defer func() { w.waitTime += time.Since(start) }()
 	for w.filled < int64(len(w.buf)) {
 		frame, err := w.recvAny()
 		if err != nil {

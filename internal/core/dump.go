@@ -4,12 +4,14 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"time"
 
 	"dedupcr/internal/chunk"
 	"dedupcr/internal/collectives"
 	"dedupcr/internal/fingerprint"
 	"dedupcr/internal/metrics"
 	"dedupcr/internal/storage"
+	"dedupcr/internal/trace"
 )
 
 // tagMeta carries the RestoreMeta replicas between naive neighbours.
@@ -49,6 +51,19 @@ func prefix(p int) []int {
 	return out
 }
 
+// beginPhase opens one pipeline phase: a trace span named after it plus a
+// wall-clock measurement accumulated into dst when the returned function
+// is called. Both sides are nil-safe, so uninstrumented runs pay only two
+// clock reads per phase.
+func beginPhase(rec *trace.Recorder, name string, dst *time.Duration) func() {
+	sp := rec.Begin(name)
+	start := time.Now()
+	return func() {
+		*dst += time.Since(start)
+		sp.End()
+	}
+}
+
 // DumpOutput is the paper's collective write primitive: every rank of c
 // calls it simultaneously with its local dataset buf; on return the
 // dataset is stored on the rank's local store and protected by o.K-1
@@ -65,27 +80,56 @@ func DumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options) 
 	}
 	me, n := c.Rank(), c.Size()
 	m := metrics.Dump{Rank: me, DatasetBytes: int64(len(buf))}
+	dumpStart := time.Now()
+	dumpSpan := o.Trace.Begin("dump").
+		Arg("approach", o.Approach.String()).
+		Arg("bytes", fmt.Sprint(len(buf)))
+	defer dumpSpan.End()
 
 	// Phase 1 — chunking and fingerprinting (every byte is hashed once).
+	// Both built-in chunkers expose their boundary scan separately from
+	// hashing (chunk.CutChunker), so the two costs are attributed to their
+	// own phases.
 	var chunker chunk.Chunker = chunk.NewFixed(o.ChunkSize)
 	if o.ContentDefined {
 		chunker = chunk.NewContentDefined(o.ChunkSize)
 	}
-	chunks := chunker.Split(buf)
+	var chunks []chunk.Chunk
+	if cc, ok := chunker.(chunk.CutChunker); ok {
+		done := beginPhase(o.Trace, "chunking", &m.Phases.Chunking)
+		cuts := cc.Cuts(buf)
+		done()
+		done = beginPhase(o.Trace, "fingerprint", &m.Phases.Fingerprint)
+		chunks = chunk.FromCuts(buf, cuts)
+		done()
+	} else {
+		done := beginPhase(o.Trace, "chunking", &m.Phases.Chunking)
+		chunks = chunker.Split(buf)
+		done()
+	}
 	m.TotalChunks = len(chunks)
 	m.HashedBytes = int64(len(buf))
-	recipe := chunk.BuildRecipe(chunks)
 
 	// Phase 2 — local deduplication: one copy per distinct fingerprint.
+	done := beginPhase(o.Trace, "local-dedup", &m.Phases.LocalDedup)
 	uniq := localDedup(chunks)
+	done()
 	m.LocalUniqueChunks = len(uniq)
 
 	// Phase 3 — classification. For coll-dedup this runs the collective
 	// fingerprint reduction and decides, per chunk: discard (enough
 	// natural replicas elsewhere), store only, or store and replicate;
 	// replica targets of designated chunks stay provisional until the
-	// partner identities are known (phase 5).
+	// partner identities are known (phase 5). Its cost files under the
+	// reduction phase for coll-dedup (the global view drives it) and
+	// under planning for the baselines (plain partner assignment).
+	classifyDst, classifyName := &m.Phases.Planning, "planning"
+	if o.Approach == CollDedup {
+		classifyDst, classifyName = &m.Phases.Reduction, "reduction"
+	}
+	done = beginPhase(o.Trace, classifyName, classifyDst)
 	items, hints, global, err := classify(c, chunks, uniq, o, &m)
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("rank %d classify: %w", me, err)
 	}
@@ -95,7 +139,9 @@ func DumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options) 
 	// still shift in phase 5, totals cannot.
 	load := sendLoads(items, o.K)
 	pre := c.Stats()
+	done = beginPhase(o.Trace, "load-exchange", &m.Phases.LoadExchange)
 	sendLoad, err := collectives.AllgatherInt64(c, load)
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("rank %d load allgather: %w", me, err)
 	}
@@ -113,26 +159,26 @@ func DumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options) 
 			totals[r] += row[d]
 		}
 	}
-	var shuffle []int
-	switch {
-	case *o.Shuffle && o.Topology != nil:
-		shuffle = RackAwareShuffle(totals, o.K, *o.Topology)
-	case *o.Shuffle:
-		shuffle = RankShuffle(totals, o.K)
-	default:
-		shuffle = IdentityShuffle(n)
-	}
+	done = beginPhase(o.Trace, "planning", &m.Phases.Planning)
+	shuffle := SelectShuffle(totals, o)
 	if o.Approach == CollDedup {
 		refineTargets(items, shuffle, o.K, me)
 		load = sendLoads(items, o.K)
+	}
+	done()
+	if o.Approach == CollDedup {
 		pre = c.Stats()
+		done = beginPhase(o.Trace, "load-exchange", &m.Phases.LoadExchange)
 		sendLoad, err = collectives.AllgatherInt64(c, load)
+		done()
 		if err != nil {
 			return nil, fmt.Errorf("rank %d refined load allgather: %w", me, err)
 		}
 		m.LoadExchangeBytes += c.Stats().BytesSent - pre.BytesSent
 	}
+	done = beginPhase(o.Trace, "planning", &m.Phases.Planning)
 	plan, err := NewPlan(shuffle, sendLoad, o.K)
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("rank %d plan: %w", me, err)
 	}
@@ -142,8 +188,15 @@ func DumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options) 
 	// offsets, then drain the own window until full.
 	winSize := plan.WindowSize(me)
 	m.WindowBytes = winSize
+	done = beginPhase(o.Trace, "window-open", &m.Phases.WindowOpen)
 	win := collectives.OpenWindow(c, winSize, c.NextSeq())
+	done()
+	m.PutLatency = metrics.NewHistogram()
+	win.OnPut = func(bytes int, d time.Duration) {
+		m.PutLatency.Record(d.Nanoseconds())
+	}
 	offs := plan.Offsets(me)
+	done = beginPhase(o.Trace, "put", &m.Phases.Put)
 	for d := 1; d < o.K; d++ {
 		target := plan.Partner(me, d)
 		off := offs[d]
@@ -160,13 +213,19 @@ func DumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options) 
 			m.SentBytes += int64(len(it.ch.Data))
 		}
 	}
+	done()
+	done = beginPhase(o.Trace, "window-wait", &m.Phases.WindowWait)
 	recvBuf, err := win.Wait()
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("rank %d window: %w", me, err)
 	}
 
-	// Phase 7 — commit: own chunks, received chunks, restore metadata,
-	// and the reference list that lets Forget reclaim this dataset.
+	// Phase 7 — commit: own chunks, received chunks, restore metadata
+	// (with the recipe built here, where it is consumed), and the
+	// reference list that lets Forget reclaim this dataset.
+	done = beginPhase(o.Trace, "commit", &m.Phases.Commit)
+	recipe := chunk.BuildRecipe(chunks)
 	refs := make([]fingerprint.FP, 0, len(items))
 	for _, it := range items {
 		if err := store.PutChunk(it.ch.FP, it.ch.Data); err != nil {
@@ -187,11 +246,16 @@ func DumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options) 
 	if err := persistMeta(c, store, o, recipe, hints); err != nil {
 		return nil, fmt.Errorf("rank %d persist meta: %w", me, err)
 	}
+	done()
 
 	// The dump completes collectively once everyone has committed.
-	if err := collectives.Barrier(c); err != nil {
+	done = beginPhase(o.Trace, "barrier", &m.Phases.Barrier)
+	err = collectives.Barrier(c)
+	done()
+	if err != nil {
 		return nil, fmt.Errorf("rank %d final barrier: %w", me, err)
 	}
+	m.Phases.Total = time.Since(dumpStart)
 	return &Result{Metrics: m, Plan: plan, Global: global}, nil
 }
 
@@ -418,6 +482,10 @@ func reduceGlobal(c collectives.Comm, uniq []chunk.Chunk, o Options, m *metrics.
 	}
 	m.ReductionBytes = c.Stats().BytesSent - pre.BytesSent
 	m.ReductionRounds = ceilLog2(c.Size())
+	// The transport timed each level of the HMERGE tree this rank took
+	// part in; surface them so the reduction cost can be read round by
+	// round (the paper's hierarchic-merge analysis).
+	m.Phases.ReductionRoundTimes = c.Stats().ReduceRounds
 	global := new(fingerprint.Table)
 	if err := global.UnmarshalBinary(out); err != nil {
 		return nil, fmt.Errorf("decode global view: %w", err)

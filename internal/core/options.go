@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dedupcr/internal/chunk"
+	"dedupcr/internal/trace"
 )
 
 // Approach selects the replication strategy, matching the three settings
@@ -70,6 +71,12 @@ type Options struct {
 	// paper's future-work extension): the shuffle additionally spreads
 	// each rank's partners across racks. Requires Shuffle.
 	Topology *Topology
+	// Trace, when set, records one span per pipeline phase into this
+	// rank's recorder (see internal/trace). Nil disables tracing; the
+	// recorder methods are nil-safe, so the dump path carries no
+	// conditionals. Unlike the other options, Trace may differ per rank
+	// (each rank owns its recorder).
+	Trace *trace.Recorder
 }
 
 // normalized resolves defaults and validates against the group size.

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"dedupcr/internal/collectives"
+	"dedupcr/internal/metrics"
+	"dedupcr/internal/storage"
+	"dedupcr/internal/trace"
+)
+
+// tracedDump runs one traced collective dump of the standard workload
+// and returns the per-rank results plus the shared trace.
+func tracedDump(t *testing.T, n int, o Options) ([]*Result, *trace.Trace) {
+	t.Helper()
+	cluster := storage.NewCluster(n)
+	tr := trace.New()
+	results := make([]*Result, n)
+	var mu sync.Mutex
+	err := collectives.Run(n, func(c collectives.Comm) error {
+		opts := o
+		opts.Trace = tr.Recorder(1, c.Rank(), fmt.Sprintf("rank %d", c.Rank()))
+		buf := testBuffer(c.Rank(), 6, 4, 3, 2+c.Rank()%3)
+		res, err := DumpOutput(c, cluster.Node(c.Rank()), buf, opts)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		results[c.Rank()] = res
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results, tr
+}
+
+// TestDumpPhases verifies that every dump fills the per-phase timing
+// breakdown consistently for all three approaches: phases sum to no more
+// than the measured total, and the phases that must run did.
+func TestDumpPhases(t *testing.T) {
+	const n = 8
+	for _, approach := range []Approach{NoDedup, LocalDedup, CollDedup} {
+		approach := approach
+		t.Run(approach.String(), func(t *testing.T) {
+			o := Options{K: 3, Approach: approach, ChunkSize: testPage, Name: "ph"}
+			results, _ := tracedDump(t, n, o)
+			for r, res := range results {
+				p := res.Metrics.Phases
+				if p.Total <= 0 {
+					t.Fatalf("rank %d: total %v, want > 0", r, p.Total)
+				}
+				if p.Sum() > p.Total {
+					t.Errorf("rank %d: phase sum %v exceeds total %v", r, p.Sum(), p.Total)
+				}
+				if p.Other() < 0 {
+					t.Errorf("rank %d: negative unattributed time %v", r, p.Other())
+				}
+				if p.Chunking <= 0 || p.Fingerprint <= 0 {
+					t.Errorf("rank %d: chunking %v / fingerprint %v, want both > 0", r, p.Chunking, p.Fingerprint)
+				}
+				if approach == CollDedup {
+					if p.Reduction <= 0 {
+						t.Errorf("rank %d: coll-dedup without reduction time", r)
+					}
+					if len(p.ReductionRoundTimes) == 0 {
+						t.Errorf("rank %d: no per-round reduction timings", r)
+					}
+				} else if p.Reduction != 0 {
+					t.Errorf("rank %d: %v has reduction time %v", r, approach, p.Reduction)
+				}
+				if res.Metrics.SentChunks > 0 {
+					got := res.Metrics.PutLatency.Count()
+					if got != int64(res.Metrics.SentChunks) {
+						t.Errorf("rank %d: %d put latencies for %d sent chunks", r, got, res.Metrics.SentChunks)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDumpTraceCoverage verifies the acceptance criterion that the spans
+// of a traced dump cover (nearly) the whole wall time of each rank: the
+// top-level dump span brackets everything, so coverage must be complete.
+func TestDumpTraceCoverage(t *testing.T) {
+	const n = 4
+	o := Options{K: 2, Approach: CollDedup, ChunkSize: testPage, Name: "cov"}
+	_, tr := tracedDump(t, n, o)
+	if cov := tr.Coverage(); cov < 0.95 {
+		t.Errorf("trace coverage %.3f, want >= 0.95", cov)
+	}
+	// Every pipeline phase must appear as a span at least once.
+	seen := make(map[string]bool)
+	for _, e := range tr.Events() {
+		seen[e.Name] = true
+	}
+	for _, name := range metrics.PhaseNames {
+		if !seen[name] {
+			t.Errorf("phase %q has no span", name)
+		}
+	}
+	// Chrome export of a real dump trace must be valid JSON.
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 || buf.Bytes()[0] != '{' {
+		t.Fatalf("unexpected chrome trace output %q", buf.String()[:min(buf.Len(), 40)])
+	}
+}
+
+// TestRestoreWithTrace verifies the restore path emits its spans.
+func TestRestoreWithTrace(t *testing.T) {
+	const n = 4
+	o := Options{K: 2, Approach: LocalDedup, ChunkSize: testPage, Name: "rt"}
+	cluster, _, buffers := runDump(t, n, o)
+	tr := trace.New()
+	err := collectives.Run(n, func(c collectives.Comm) error {
+		rec := tr.Recorder(1, c.Rank(), fmt.Sprintf("rank %d", c.Rank()))
+		got, err := RestoreWithTrace(c, cluster.Node(c.Rank()), "rt", rec)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, buffers[c.Rank()]) {
+			return fmt.Errorf("rank %d restore mismatch", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, e := range tr.Events() {
+		seen[e.Name] = true
+	}
+	for _, want := range []string{"restore", "load-meta", "assemble", "barrier"} {
+		if !seen[want] {
+			t.Errorf("restore span %q missing", want)
+		}
+	}
+}

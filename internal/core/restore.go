@@ -8,6 +8,7 @@ import (
 	"dedupcr/internal/fetch"
 	"dedupcr/internal/fingerprint"
 	"dedupcr/internal/storage"
+	"dedupcr/internal/trace"
 )
 
 // fetchClass is the fetch-service protocol class of plain restores.
@@ -24,16 +25,28 @@ const fetchClass fetch.Class = 0
 // Restore succeeds as long as at most K-1 nodes were lost, the guarantee
 // the replication factor buys.
 func Restore(c collectives.Comm, store storage.Store, name string) ([]byte, error) {
+	return RestoreWithTrace(c, store, name, nil)
+}
+
+// RestoreWithTrace is Restore with per-phase span recording: metadata
+// load, assembly (with one counted arg for remotely fetched chunks), and
+// the completion barrier. A nil recorder behaves exactly like Restore.
+func RestoreWithTrace(c collectives.Comm, store storage.Store, name string, rec *trace.Recorder) ([]byte, error) {
 	me := c.Rank()
+	restoreSpan := rec.Begin("restore").Arg("dataset", name)
+	defer restoreSpan.End()
 	srv := fetch.Serve(c, store, fetchClass)
 
+	metaSpan := rec.Begin("load-meta")
 	meta, err := loadMeta(c, store, name)
+	metaSpan.End()
 	if err != nil {
 		srv.Stop()
 		return nil, fmt.Errorf("rank %d: %w", me, err)
 	}
 
 	var cached []fingerprint.FP
+	assembleSpan := rec.Begin("assemble")
 	buf, err := meta.Recipe.Assemble(func(fp fingerprint.FP) ([]byte, error) {
 		if data, err := store.GetChunk(fp); err == nil {
 			return data, nil
@@ -49,6 +62,7 @@ func Restore(c collectives.Comm, store storage.Store, name string) ([]byte, erro
 		cached = append(cached, fp)
 		return data, nil
 	})
+	assembleSpan.Arg("fetched-chunks", fmt.Sprint(len(cached))).End()
 	if err != nil {
 		srv.Stop()
 		return nil, fmt.Errorf("rank %d assemble %q: %w", me, name, err)
@@ -76,7 +90,10 @@ func Restore(c collectives.Comm, store storage.Store, name string) ([]byte, erro
 	}
 
 	// All ranks keep serving until everyone has finished assembling.
-	if err := collectives.Barrier(c); err != nil {
+	barrierSpan := rec.Begin("barrier")
+	err = collectives.Barrier(c)
+	barrierSpan.End()
+	if err != nil {
 		srv.Stop()
 		return nil, fmt.Errorf("rank %d restore barrier: %w", me, err)
 	}

@@ -64,6 +64,21 @@ func RankShuffleHeadTail(totals []int64, k int) []int {
 	return shuffle
 }
 
+// SelectShuffle picks the rank permutation a dump uses, from normalized
+// options: rack-aware when a topology is given, the load-aware tier
+// interleave of Algorithm 2 when shuffling is on, identity otherwise.
+// totals[r] is rank r's total send load in bytes.
+func SelectShuffle(totals []int64, o Options) []int {
+	switch {
+	case *o.Shuffle && o.Topology != nil:
+		return RackAwareShuffle(totals, o.K, *o.Topology)
+	case *o.Shuffle:
+		return RankShuffle(totals, o.K)
+	default:
+		return IdentityShuffle(len(totals))
+	}
+}
+
 // IdentityShuffle returns the identity permutation, used when load-aware
 // partner selection is disabled (the paper's coll-no-shuffle setting and
 // both baselines).

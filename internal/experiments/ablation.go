@@ -35,7 +35,7 @@ func AblationShuffle(cfg Config) (*Table, error) {
 	for _, k := range kRange(cfg, 3) {
 		// One measured scenario provides the loads; strategies are then
 		// evaluated offline on the identical matrix.
-		res, err := RunScenario(CM1(), n, k, core.CollDedup, false, cfg.Verbose)
+		res, err := RunScenario(cfg, CM1(), n, k, core.CollDedup, false)
 		if err != nil {
 			return nil, err
 		}
@@ -160,11 +160,11 @@ func AblationPFS(cfg Config) (*Table, error) {
 		},
 	}
 	for _, w := range []Workload{HPCCG(), CM1()} {
-		res, err := RunScenario(w, n, k, core.CollDedup, true, cfg.Verbose)
+		res, err := RunScenario(cfg, w, n, k, core.CollDedup, true)
 		if err != nil {
 			return nil, err
 		}
-		resNo, err := RunScenario(w, n, k, core.NoDedup, false, cfg.Verbose)
+		resNo, err := RunScenario(cfg, w, n, k, core.NoDedup, false)
 		if err != nil {
 			return nil, err
 		}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"dedupcr/internal/trace"
 )
 
 // Table is a rendered experiment result: the same rows/series the paper
@@ -74,6 +76,11 @@ type Config struct {
 	Quick bool
 	// Verbose prints progress to stderr.
 	Verbose bool
+	// Trace, when set, collects per-phase spans of every scenario the
+	// experiment runs: one trace process per scenario, one thread per
+	// rank. Tracing bypasses the scenario cache so the spans always
+	// reflect a live run.
+	Trace *trace.Trace
 }
 
 // Experiment regenerates one paper artifact.
@@ -95,7 +102,8 @@ var Registry = []Experiment{
 	{"fig5a", "CM1: increase in execution time vs replication factor (Figure 5a)", Fig5a},
 	{"fig5b", "CM1: replicated data per process vs replication factor (Figure 5b)", Fig5b},
 	{"fig5c", "CM1: impact of rank shuffling (Figure 5c)", Fig5c},
-	// Beyond the paper: ablations of the design choices.
+	// Beyond the paper: observability and ablations of the design choices.
+	{"phases", "Per-phase timing breakdown of the dump pipeline (observability)", PhasesBreakdown},
 	{"ablation-shuffle", "Ablation: partner-selection strategies (beyond paper)", AblationShuffle},
 	{"ablation-restore", "Ablation: restore cost vs node failures (beyond paper)", AblationRestore},
 	{"ablation-hybrid", "Ablation: replication vs dedup+erasure hybrid (beyond paper)", AblationHybrid},

@@ -1,18 +1,21 @@
 package experiments
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
 
 	"dedupcr/internal/core"
+	"dedupcr/internal/metrics"
+	"dedupcr/internal/trace"
 )
 
 func quickCfg() Config { return Config{Quick: true} }
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig3a", "fig3b", "fig3c", "table1", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "fig5c",
-		"ablation-shuffle", "ablation-restore", "ablation-hybrid", "ablation-pfs"}
+		"phases", "ablation-shuffle", "ablation-restore", "ablation-hybrid", "ablation-pfs"}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {
 			t.Errorf("experiment %q missing from registry", id)
@@ -215,7 +218,7 @@ func TestFig5bShowsSkew(t *testing.T) {
 }
 
 func TestRunScenarioConsistency(t *testing.T) {
-	res, err := RunScenario(CM1(), 8, 3, core.CollDedup, true, false)
+	res, err := RunScenario(Config{}, CM1(), 8, 3, core.CollDedup, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,5 +252,62 @@ func TestTableRender(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("rendered table missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestPhasesBreakdown(t *testing.T) {
+	tab, err := PhasesBreakdown(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One row per phase plus sum / total / attributed.
+	if want := len(metrics.PhaseNames) + 3; len(tab.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(tab.Rows), want)
+	}
+	// The attribution row must report >= 90% for every approach (the
+	// acceptance bar: phase sums within 10% of the measured total).
+	attr := tab.Rows[len(tab.Rows)-1]
+	for col := 1; col < len(attr); col++ {
+		var pct float64
+		if _, err := fmt.Sscanf(attr[col], "%f%%", &pct); err != nil {
+			t.Fatalf("unparsable attribution cell %q", attr[col])
+		}
+		if pct < 90 {
+			t.Errorf("%s: phases cover %.1f%% of total, want >= 90%%", tab.Header[col], pct)
+		}
+		if pct > 100.5 {
+			t.Errorf("%s: phases cover %.1f%% of total, impossible", tab.Header[col], pct)
+		}
+	}
+}
+
+func TestRunScenarioTraceBypassesCache(t *testing.T) {
+	cfg := Config{Quick: true}
+	warm, err := RunScenario(cfg, HPCCG(), 4, 2, core.LocalDedup, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Trace = trace.New()
+	traced, err := RunScenario(cfg, HPCCG(), 4, 2, core.LocalDedup, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm == traced {
+		t.Fatal("traced run returned the cached result")
+	}
+	if cov := cfg.Trace.Coverage(); cov < 0.95 {
+		t.Errorf("trace coverage %.3f, want >= 0.95", cov)
+	}
+	var haveCompute, haveDump bool
+	for _, e := range cfg.Trace.Events() {
+		switch e.Name {
+		case "compute":
+			haveCompute = true
+		case "dump":
+			haveDump = true
+		}
+	}
+	if !haveCompute || !haveDump {
+		t.Errorf("missing spans: compute=%v dump=%v", haveCompute, haveDump)
 	}
 }

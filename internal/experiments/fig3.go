@@ -36,7 +36,7 @@ func Fig3a(cfg Config) (*Table, error) {
 		var cells []string
 		var pct []string
 		for _, ap := range []core.Approach{core.NoDedup, core.LocalDedup, core.CollDedup} {
-			res, err := RunScenario(c.w, c.n, 3, ap, ap == core.CollDedup, cfg.Verbose)
+			res, err := RunScenario(cfg, c.w, c.n, 3, ap, ap == core.CollDedup)
 			if err != nil {
 				return nil, err
 			}
@@ -87,7 +87,7 @@ func fig3Reduce(id string, w Workload, cfg Config) (*Table, error) {
 				row = append(row, "n/a")
 				continue
 			}
-			res, err := RunScenario(w, n, k, core.CollDedup, true, cfg.Verbose)
+			res, err := RunScenario(cfg, w, n, k, core.CollDedup, true)
 			if err != nil {
 				return nil, err
 			}

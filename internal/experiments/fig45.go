@@ -47,7 +47,7 @@ func figTimeVsK(id string, w Workload, cfg Config) (*Table, error) {
 	for _, k := range kRange(cfg, 1) {
 		row := []string{fmt.Sprintf("%d", k)}
 		for _, ap := range []core.Approach{core.NoDedup, core.LocalDedup, core.CollDedup} {
-			res, err := RunScenario(w, n, k, ap, ap == core.CollDedup, cfg.Verbose)
+			res, err := RunScenario(cfg, w, n, k, ap, ap == core.CollDedup)
 			if err != nil {
 				return nil, err
 			}
@@ -76,7 +76,7 @@ func figSendVsK(id string, w Workload, cfg Config) (*Table, error) {
 	for _, k := range kRange(cfg, 1) {
 		row := []string{fmt.Sprintf("%d", k)}
 		for _, ap := range []core.Approach{core.NoDedup, core.LocalDedup, core.CollDedup} {
-			res, err := RunScenario(w, n, k, ap, ap == core.CollDedup, cfg.Verbose)
+			res, err := RunScenario(cfg, w, n, k, ap, ap == core.CollDedup)
 			if err != nil {
 				return nil, err
 			}
@@ -106,7 +106,7 @@ func figShuffle(id string, w Workload, cfg Config) (*Table, error) {
 	for _, k := range kRange(cfg, 2) {
 		var maxRecv [2]int64
 		for i, shuffle := range []bool{false, true} {
-			res, err := RunScenario(w, n, k, core.CollDedup, shuffle, cfg.Verbose)
+			res, err := RunScenario(cfg, w, n, k, core.CollDedup, shuffle)
 			if err != nil {
 				return nil, err
 			}

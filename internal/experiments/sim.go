@@ -12,6 +12,7 @@ import (
 	"dedupcr/internal/metrics"
 	"dedupcr/internal/netsim"
 	"dedupcr/internal/storage"
+	"dedupcr/internal/trace"
 )
 
 // stepper is the slice of an application the harness drives: advance and
@@ -144,13 +145,18 @@ var scenarioCache sync.Map
 
 // RunScenario executes a full application run with checkpointing: N ranks
 // step the workload, dump at each phase boundary, and report measured
-// metrics. Results are memoized per parameter combination.
-func RunScenario(w Workload, n, k int, approach core.Approach, shuffle bool, verbose bool) (*ScenarioResult, error) {
+// metrics. Results are memoized per parameter combination — unless the
+// config carries a trace, in which case the scenario always runs live
+// (cached results have no spans) and the result stays out of the cache.
+func RunScenario(cfg Config, w Workload, n, k int, approach core.Approach, shuffle bool) (*ScenarioResult, error) {
+	if cfg.Trace != nil {
+		return runScenarioUncached(cfg, w, n, k, approach, shuffle)
+	}
 	key := fmt.Sprintf("%s/%d/%d/%d/%t", w.Name, n, k, approach, shuffle)
 	if v, ok := scenarioCache.Load(key); ok {
 		return v.(*ScenarioResult), nil
 	}
-	res, err := runScenarioUncached(w, n, k, approach, shuffle, verbose)
+	res, err := runScenarioUncached(cfg, w, n, k, approach, shuffle)
 	if err != nil {
 		return nil, err
 	}
@@ -158,9 +164,19 @@ func RunScenario(w Workload, n, k int, approach core.Approach, shuffle bool, ver
 	return res, nil
 }
 
-func runScenarioUncached(w Workload, n, k int, approach core.Approach, shuffle bool, verbose bool) (*ScenarioResult, error) {
-	if verbose {
+func runScenarioUncached(cfg Config, w Workload, n, k int, approach core.Approach, shuffle bool) (*ScenarioResult, error) {
+	if cfg.Verbose {
 		fmt.Fprintf(os.Stderr, "[experiments] %s N=%d K=%d %v shuffle=%v\n", w.Name, n, k, approach, shuffle)
+	}
+	// One trace process per scenario, one thread per rank.
+	var recs []*trace.Recorder
+	if cfg.Trace != nil {
+		pid := cfg.Trace.NextPid()
+		cfg.Trace.NamePid(pid, fmt.Sprintf("%s N=%d K=%d %v shuffle=%v", w.Name, n, k, approach, shuffle))
+		recs = make([]*trace.Recorder, n)
+		for r := range recs {
+			recs[r] = cfg.Trace.Recorder(pid, r, fmt.Sprintf("rank %d", r))
+		}
 	}
 	cluster := storage.NewCluster(n)
 	res := &ScenarioResult{
@@ -173,11 +189,17 @@ func runScenarioUncached(w Workload, n, k int, approach core.Approach, shuffle b
 	}
 	var mu sync.Mutex
 	err := collectives.Run(n, func(c collectives.Comm) error {
+		var rec *trace.Recorder
+		if recs != nil {
+			rec = recs[c.Rank()]
+		}
 		app := w.New(c.Rank(), n)
 		for ck := 0; ck < w.Checkpoints; ck++ {
+			sp := rec.Begin("compute").Arg("steps", fmt.Sprint(w.StepsPerPhase))
 			for s := 0; s < w.StepsPerPhase; s++ {
 				app.Step()
 			}
+			sp.End()
 			o := core.Options{
 				K:         k,
 				Approach:  approach,
@@ -185,6 +207,7 @@ func runScenarioUncached(w Workload, n, k int, approach core.Approach, shuffle b
 				ChunkSize: w.ChunkSize,
 				Shuffle:   core.Bool(shuffle),
 				Name:      fmt.Sprintf("%s-ck%d", w.Name, ck),
+				Trace:     rec,
 			}
 			r, err := core.DumpOutput(c, cluster.Node(c.Rank()), app.CheckpointImage(), o)
 			if err != nil {

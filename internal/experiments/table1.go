@@ -42,7 +42,7 @@ func Table1(cfg Config) (*Table, error) {
 			}
 			row := []string{bl.w.Name, fmt.Sprintf("%d", n)}
 			for _, ap := range []core.Approach{core.NoDedup, core.LocalDedup, core.CollDedup} {
-				res, err := RunScenario(bl.w, n, k, ap, ap == core.CollDedup, cfg.Verbose)
+				res, err := RunScenario(cfg, bl.w, n, k, ap, ap == core.CollDedup)
 				if err != nil {
 					return nil, err
 				}

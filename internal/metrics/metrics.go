@@ -3,7 +3,10 @@
 // experiment harness.
 package metrics
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Dump is the instrumentation of one rank for one collective dump. Byte
 // and chunk counters are what the performance model consumes; they are
@@ -48,6 +51,12 @@ type Dump struct {
 	// per holding rank under local-dedup, and once per occurrence under
 	// no-dedup (which identifies no redundancy at all).
 	UniqueContentBytes int64
+	// Phases is the measured wall-clock decomposition of the dump on
+	// this rank, one duration per pipeline phase.
+	Phases Phases
+	// PutLatency is the per-chunk window-put latency histogram
+	// (nanoseconds); nil when the dump recorded no puts.
+	PutLatency *Histogram
 }
 
 // Sum aggregates int64 values.
@@ -79,8 +88,16 @@ func Avg(v []int64) float64 {
 }
 
 // Bytes renders a byte count with binary units, e.g. "1.50 GiB".
+// Negative counts (byte deltas, savings) render with the same units,
+// e.g. "-1.50 GiB".
 func Bytes(n int64) string {
 	const unit = 1024
+	if n < 0 {
+		if n == math.MinInt64 {
+			return "-8.00 EiB"
+		}
+		return "-" + Bytes(-n)
+	}
 	if n < unit {
 		return fmt.Sprintf("%d B", n)
 	}

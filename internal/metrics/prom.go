@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePrometheus emits the dump's counters and phase timings in the
+// Prometheus plain-text exposition format, labelled with the rank — the
+// counter dump replicad prints on exit so a scrape-less deployment still
+// leaves machine-readable numbers behind.
+func (d Dump) WritePrometheus(w io.Writer) {
+	rank := fmt.Sprintf(`rank="%d"`, d.Rank)
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s{%s} %d\n", name, help, name, name, rank, v)
+	}
+	counter("dedupcr_dataset_bytes_total", "Raw bytes of the rank's dumped buffer.", d.DatasetBytes)
+	counter("dedupcr_chunks_total", "Chunks in the rank's dataset, duplicates included.", int64(d.TotalChunks))
+	counter("dedupcr_local_unique_chunks_total", "Distinct fingerprints after local dedup.", int64(d.LocalUniqueChunks))
+	counter("dedupcr_hashed_bytes_total", "Bytes run through the fingerprint function.", d.HashedBytes)
+	counter("dedupcr_stored_chunks_total", "Chunks committed to the local store.", int64(d.StoredChunks))
+	counter("dedupcr_stored_bytes_total", "Bytes committed to the local store.", d.StoredBytes)
+	counter("dedupcr_sent_chunks_total", "Replication chunks pushed to partners.", int64(d.SentChunks))
+	counter("dedupcr_sent_bytes_total", "Replication bytes pushed to partners.", d.SentBytes)
+	counter("dedupcr_recv_chunks_total", "Replication chunks received from partners.", int64(d.RecvChunks))
+	counter("dedupcr_recv_bytes_total", "Replication bytes received from partners.", d.RecvBytes)
+	counter("dedupcr_reduction_bytes_total", "Bytes sent during the collective fingerprint reduction.", d.ReductionBytes)
+	counter("dedupcr_reduction_rounds_total", "Depth of the reduction tree.", int64(d.ReductionRounds))
+	counter("dedupcr_load_exchange_bytes_total", "Bytes sent for the load allgathers.", d.LoadExchangeBytes)
+	counter("dedupcr_window_bytes_total", "Size of the receive window this rank opened.", d.WindowBytes)
+	counter("dedupcr_unique_content_bytes_total", "Bytes of content the approach identified as unique.", d.UniqueContentBytes)
+
+	fmt.Fprintf(w, "# HELP dedupcr_phase_seconds Wall-clock time of one dump pipeline phase.\n")
+	fmt.Fprintf(w, "# TYPE dedupcr_phase_seconds gauge\n")
+	for _, name := range PhaseNames {
+		fmt.Fprintf(w, "dedupcr_phase_seconds{%s,phase=%q} %.9f\n", rank, name, d.Phases.ByName(name).Seconds())
+	}
+	fmt.Fprintf(w, "dedupcr_phase_seconds{%s,phase=\"total\"} %.9f\n", rank, d.Phases.Total.Seconds())
+
+	if d.PutLatency.Count() > 0 {
+		fmt.Fprintf(w, "# HELP dedupcr_put_latency_seconds Per-chunk window put latency.\n")
+		fmt.Fprintf(w, "# TYPE dedupcr_put_latency_seconds summary\n")
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			fmt.Fprintf(w, "dedupcr_put_latency_seconds{%s,quantile=\"%g\"} %.9f\n",
+				rank, q, float64(d.PutLatency.Quantile(q))/1e9)
+		}
+		fmt.Fprintf(w, "dedupcr_put_latency_seconds_sum{%s} %.9f\n", rank, float64(d.PutLatency.Sum())/1e9)
+		fmt.Fprintf(w, "dedupcr_put_latency_seconds_count{%s} %d\n", rank, d.PutLatency.Count())
+	}
+}

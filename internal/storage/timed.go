@@ -1,0 +1,92 @@
+package storage
+
+import (
+	"time"
+
+	"dedupcr/internal/fingerprint"
+	"dedupcr/internal/metrics"
+)
+
+// Timed wraps a Store and records the wall-clock latency of every chunk
+// and blob operation into lock-free histograms (nanoseconds), splitting
+// reads from writes — the device-level view that complements the
+// pipeline's per-phase timings: a slow commit phase with fast store
+// writes points at the transport, a slow one with slow writes at the
+// disk.
+type Timed struct {
+	inner Store
+	read  *metrics.Histogram
+	write *metrics.Histogram
+}
+
+var _ Store = (*Timed)(nil)
+
+// NewTimed wraps store with latency instrumentation.
+func NewTimed(store Store) *Timed {
+	return &Timed{
+		inner: store,
+		read:  metrics.NewHistogram(),
+		write: metrics.NewHistogram(),
+	}
+}
+
+// ReadLatency returns the histogram of GetChunk/HasChunk/GetBlob
+// latencies in nanoseconds.
+func (t *Timed) ReadLatency() *metrics.Histogram { return t.read }
+
+// WriteLatency returns the histogram of PutChunk/ReleaseChunk/PutBlob
+// latencies in nanoseconds.
+func (t *Timed) WriteLatency() *metrics.Histogram { return t.write }
+
+// Inner returns the wrapped store.
+func (t *Timed) Inner() Store { return t.inner }
+
+func (t *Timed) timeWrite(f func() error) error {
+	start := time.Now()
+	err := f()
+	t.write.Record(time.Since(start).Nanoseconds())
+	return err
+}
+
+func (t *Timed) timeRead(f func() error) error {
+	start := time.Now()
+	err := f()
+	t.read.Record(time.Since(start).Nanoseconds())
+	return err
+}
+
+func (t *Timed) PutChunk(fp fingerprint.FP, data []byte) error {
+	return t.timeWrite(func() error { return t.inner.PutChunk(fp, data) })
+}
+
+func (t *Timed) GetChunk(fp fingerprint.FP) ([]byte, error) {
+	var data []byte
+	err := t.timeRead(func() (e error) { data, e = t.inner.GetChunk(fp); return })
+	return data, err
+}
+
+func (t *Timed) HasChunk(fp fingerprint.FP) (bool, error) {
+	var ok bool
+	err := t.timeRead(func() (e error) { ok, e = t.inner.HasChunk(fp); return })
+	return ok, err
+}
+
+func (t *Timed) ReleaseChunk(fp fingerprint.FP) error {
+	return t.timeWrite(func() error { return t.inner.ReleaseChunk(fp) })
+}
+
+func (t *Timed) PutBlob(name string, data []byte) error {
+	return t.timeWrite(func() error { return t.inner.PutBlob(name, data) })
+}
+
+func (t *Timed) GetBlob(name string) ([]byte, error) {
+	var data []byte
+	err := t.timeRead(func() (e error) { data, e = t.inner.GetBlob(name); return })
+	return data, err
+}
+
+func (t *Timed) Usage() (int64, int) { return t.inner.Usage() }
+
+func (t *Timed) Fail() { t.inner.Fail() }
+
+func (t *Timed) Failed() bool { return t.inner.Failed() }

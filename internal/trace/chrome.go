@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+)
+
+// chromeEvent is the wire form of one trace-event, matching the Chrome
+// trace-event format's "JSON object format": complete events (ph "X")
+// with microsecond timestamps, plus metadata events (ph "M") naming the
+// process and thread tracks.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level JSON object format document.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteJSON exports the trace as Chrome trace-event JSON. Open the file
+// at chrome://tracing or https://ui.perfetto.dev. It must only be called
+// once all recorded spans have ended.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	doc := chromeFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+
+	// Metadata: name the process groups and thread tracks.
+	t.mu.Lock()
+	pids := make([]int, 0, len(t.pidNames))
+	for pid := range t.pidNames {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]string{"name": t.pidNames[pid]},
+		})
+	}
+	type track struct{ pid, tid int }
+	named := make(map[track]bool)
+	var threads []chromeEvent
+	for _, r := range t.recs {
+		k := track{r.pid, r.tid}
+		if r.name == "" || named[k] {
+			continue
+		}
+		named[k] = true
+		threads = append(threads, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: r.pid, Tid: r.tid,
+			Args: map[string]string{"name": r.name},
+		})
+	}
+	t.mu.Unlock()
+	sort.Slice(threads, func(i, j int) bool {
+		if threads[i].Pid != threads[j].Pid {
+			return threads[i].Pid < threads[j].Pid
+		}
+		return threads[i].Tid < threads[j].Tid
+	})
+	doc.TraceEvents = append(doc.TraceEvents, threads...)
+
+	for _, e := range t.Events() {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: e.Name, Cat: "dump", Ph: "X",
+			Ts:  float64(e.Start.Nanoseconds()) / 1e3,
+			Dur: float64(e.Dur.Nanoseconds()) / 1e3,
+			Pid: e.Pid, Tid: e.Tid, Args: e.Args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// WriteFile exports the trace to path as Chrome trace-event JSON.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,287 @@
+// Package trace records per-rank, per-phase spans of the collective dump
+// pipeline with low overhead and exports them as Chrome trace-event JSON
+// (the format chrome://tracing, Perfetto and speedscope all open), so a
+// full N-rank collective dump renders as one timeline — one process/track
+// group per scenario, one thread track per rank.
+//
+// Recording is designed for the hot path:
+//
+//   - A nil *Recorder is valid and every operation on it is a no-op, so
+//     instrumented code never branches on "is tracing enabled".
+//   - Appends are lock-free: completed spans are pushed onto a linked
+//     list of fixed-size blocks with an atomic cursor, so multiple
+//     goroutines of one rank may record concurrently without contending
+//     on a mutex (verified under the race detector).
+//   - Timestamps come from one shared monotonic clock (time.Since of the
+//     trace origin), so spans of different ranks align on a single
+//     timeline without any cross-rank clock agreement.
+//
+// Usage:
+//
+//	tr := trace.New()
+//	rec := tr.Recorder(0, rank, fmt.Sprintf("rank %d", rank))
+//	sp := rec.Begin("chunking")
+//	... work ...
+//	sp.End()
+//	_ = tr.WriteJSON(f) // after all recording goroutines are done
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one completed span on one rank's timeline.
+type Event struct {
+	// Name is the phase name shown on the timeline slice.
+	Name string
+	// Pid and Tid place the event: Chrome renders one group per Pid with
+	// one track per Tid. The convention here is Pid = scenario, Tid = rank.
+	Pid, Tid int
+	// Start is the span's begin time relative to the trace origin.
+	Start time.Duration
+	// Dur is the span's duration.
+	Dur time.Duration
+	// Args are optional key/value annotations shown when the slice is
+	// selected in the viewer.
+	Args map[string]string
+}
+
+// End returns the span's end time relative to the trace origin.
+func (e Event) End() time.Duration { return e.Start + e.Dur }
+
+// Trace is one shared timeline: a monotonic origin plus the recorders
+// writing onto it. All methods are safe for concurrent use; WriteJSON and
+// Events must only run after every recorded span has ended.
+type Trace struct {
+	start time.Time
+	clock func() time.Duration
+
+	mu       sync.Mutex
+	recs     []*Recorder
+	pidNames map[int]string
+	nextPid  int
+}
+
+// New creates a trace whose origin is now.
+func New() *Trace {
+	t := &Trace{start: time.Now(), pidNames: make(map[int]string)}
+	t.clock = func() time.Duration { return time.Since(t.start) }
+	return t
+}
+
+// NewWithClock creates a trace driven by an explicit monotonic clock
+// (elapsed time since the origin). Used by tests that need deterministic
+// timestamps; everything else should use New.
+func NewWithClock(clock func() time.Duration) *Trace {
+	return &Trace{clock: clock, pidNames: make(map[int]string)}
+}
+
+// Recorder registers and returns a recorder for one timeline track.
+// name labels the track (the thread name in the viewer). Multiple calls
+// with the same (pid, tid) are allowed; their events land on one track.
+func (t *Trace) Recorder(pid, tid int, name string) *Recorder {
+	r := &Recorder{trace: t, pid: pid, tid: tid, name: name}
+	b := new(block)
+	r.head.Store(b)
+	r.tail.Store(b)
+	t.mu.Lock()
+	t.recs = append(t.recs, r)
+	if pid >= t.nextPid {
+		t.nextPid = pid + 1
+	}
+	t.mu.Unlock()
+	return r
+}
+
+// NextPid reserves the next unused process id, letting independent
+// scenarios traced into one file claim disjoint track groups.
+func (t *Trace) NextPid() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pid := t.nextPid
+	t.nextPid++
+	return pid
+}
+
+// NamePid labels a process group in the viewer (e.g. the scenario name).
+func (t *Trace) NamePid(pid int, name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pidNames[pid] = name
+}
+
+// Events returns every completed span of every recorder, sorted by start
+// time. It must not race with in-flight spans.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	recs := append([]*Recorder(nil), t.recs...)
+	t.mu.Unlock()
+	var out []Event
+	for _, r := range recs {
+		out = append(out, r.events()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		// Longer spans first so parents precede children at equal start.
+		return out[i].Dur > out[j].Dur
+	})
+	return out
+}
+
+// Coverage reports how much of the trace's wall time is covered by at
+// least one span: the union of all span intervals divided by the extent
+// from the first span begin to the last span end. An empty trace covers 1
+// (there is no wall time to attribute). The acceptance bar for dump
+// traces is that spans cover >= 95% of wall time.
+func (t *Trace) Coverage() float64 {
+	evs := t.Events()
+	if len(evs) == 0 {
+		return 1
+	}
+	lo, hi := evs[0].Start, evs[0].End()
+	for _, e := range evs {
+		if e.Start < lo {
+			lo = e.Start
+		}
+		if e.End() > hi {
+			hi = e.End()
+		}
+	}
+	if hi == lo {
+		return 1
+	}
+	// Events are sorted by start: one sweep merges the interval union.
+	var covered, cur time.Duration
+	curStart := evs[0].Start
+	cur = evs[0].End()
+	for _, e := range evs[1:] {
+		if e.Start > cur {
+			covered += cur - curStart
+			curStart = e.Start
+			cur = e.End()
+			continue
+		}
+		if e.End() > cur {
+			cur = e.End()
+		}
+	}
+	covered += cur - curStart
+	return float64(covered) / float64(hi-lo)
+}
+
+// blockSize is the span capacity of one append block. 256 events cover a
+// whole collective dump without a second allocation.
+const blockSize = 256
+
+// block is one fixed-size segment of a recorder's lock-free append list.
+type block struct {
+	n    atomic.Int64
+	next atomic.Pointer[block]
+	ev   [blockSize]Event
+}
+
+// Recorder writes spans onto one (pid, tid) track of a Trace. The zero
+// value is not usable — obtain recorders from Trace.Recorder — but a nil
+// *Recorder is: every method no-ops, making disabled tracing free of
+// conditionals at call sites.
+type Recorder struct {
+	trace *Trace
+	pid   int
+	tid   int
+	name  string
+
+	head atomic.Pointer[block]
+	tail atomic.Pointer[block]
+}
+
+// Begin opens a span. The returned span must be closed with End on the
+// same goroutine for the viewer's nesting to render correctly (Chrome
+// infers nesting from interval containment per track). Begin on a nil
+// recorder returns a nil span whose End is a no-op.
+func (r *Recorder) Begin(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{rec: r, name: name, start: r.trace.clock()}
+}
+
+// Instant records a zero-duration marker event.
+func (r *Recorder) Instant(name string) {
+	if r == nil {
+		return
+	}
+	now := r.trace.clock()
+	r.append(Event{Name: name, Pid: r.pid, Tid: r.tid, Start: now})
+}
+
+// append pushes a completed event, lock-free: reserve a slot with an
+// atomic add; on overflow install (or adopt) the next block and retry.
+func (r *Recorder) append(e Event) {
+	for {
+		b := r.tail.Load()
+		i := b.n.Add(1) - 1
+		if i < blockSize {
+			b.ev[i] = e
+			return
+		}
+		// Block full (the cursor may overshoot; length is clamped when
+		// reading). Install a fresh next block if nobody else has.
+		if b.next.Load() == nil {
+			b.next.CompareAndSwap(nil, new(block))
+		}
+		r.tail.CompareAndSwap(b, b.next.Load())
+	}
+}
+
+// events collects the recorder's completed spans in append order.
+func (r *Recorder) events() []Event {
+	var out []Event
+	for b := r.head.Load(); b != nil; b = b.next.Load() {
+		n := b.n.Load()
+		if n > blockSize {
+			n = blockSize
+		}
+		out = append(out, b.ev[:n]...)
+	}
+	return out
+}
+
+// Span is one open phase interval. Spans nest: a span begun while another
+// is open renders as its child on the timeline.
+type Span struct {
+	rec   *Recorder
+	name  string
+	start time.Duration
+	args  map[string]string
+}
+
+// Arg annotates the span with a key/value pair shown in the viewer.
+// It returns the span for chaining and is a no-op on nil.
+func (s *Span) Arg(key, value string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.args == nil {
+		s.args = make(map[string]string, 2)
+	}
+	s.args[key] = value
+	return s
+}
+
+// End closes the span and records it. End on a nil span is a no-op; End
+// must be called at most once.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := s.rec.trace.clock()
+	s.rec.append(Event{
+		Name: s.name, Pid: s.rec.pid, Tid: s.rec.tid,
+		Start: s.start, Dur: end - s.start, Args: s.args,
+	})
+}

@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic monotonic clock advanced by the test.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.now += d
+	f.mu.Unlock()
+}
+
+func (f *fakeClock) read() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func TestNestedSpans(t *testing.T) {
+	clk := &fakeClock{}
+	tr := NewWithClock(clk.read)
+	rec := tr.Recorder(0, 0, "rank 0")
+
+	outer := rec.Begin("dump")
+	clk.advance(time.Millisecond)
+	inner := rec.Begin("chunking")
+	clk.advance(2 * time.Millisecond)
+	inner.End()
+	clk.advance(time.Millisecond)
+	outer.End()
+
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	// Sorted by start: outer first.
+	if evs[0].Name != "dump" || evs[1].Name != "chunking" {
+		t.Fatalf("order = %q, %q", evs[0].Name, evs[1].Name)
+	}
+	if evs[0].Start != 0 || evs[0].Dur != 4*time.Millisecond {
+		t.Errorf("outer = [%v +%v], want [0s +4ms]", evs[0].Start, evs[0].Dur)
+	}
+	if evs[1].Start != time.Millisecond || evs[1].Dur != 2*time.Millisecond {
+		t.Errorf("inner = [%v +%v], want [1ms +2ms]", evs[1].Start, evs[1].Dur)
+	}
+	// The child interval must be contained in the parent's (what the
+	// Chrome viewer uses to infer nesting).
+	if evs[1].Start < evs[0].Start || evs[1].End() > evs[0].End() {
+		t.Errorf("child [%v,%v] escapes parent [%v,%v]",
+			evs[1].Start, evs[1].End(), evs[0].Start, evs[0].End())
+	}
+}
+
+func TestConcurrentRanks(t *testing.T) {
+	tr := New()
+	const ranks, spansPerRank = 16, 300 // > blockSize to cross a block boundary
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		rec := tr.Recorder(0, r, fmt.Sprintf("rank %d", r))
+		wg.Add(1)
+		go func(rec *Recorder) {
+			defer wg.Done()
+			for i := 0; i < spansPerRank; i++ {
+				sp := rec.Begin("phase")
+				sp.End()
+			}
+		}(rec)
+	}
+	wg.Wait()
+	evs := tr.Events()
+	if len(evs) != ranks*spansPerRank {
+		t.Fatalf("got %d events, want %d", len(evs), ranks*spansPerRank)
+	}
+	byTid := make(map[int]int)
+	for _, e := range evs {
+		byTid[e.Tid]++
+	}
+	for r := 0; r < ranks; r++ {
+		if byTid[r] != spansPerRank {
+			t.Errorf("tid %d has %d events, want %d", r, byTid[r], spansPerRank)
+		}
+	}
+}
+
+// TestConcurrentAppendOneRecorder exercises the lock-free append from
+// many goroutines sharing one recorder (the race detector validates the
+// block hand-off).
+func TestConcurrentAppendOneRecorder(t *testing.T) {
+	tr := New()
+	rec := tr.Recorder(0, 0, "shared")
+	const writers, each = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				rec.Instant("tick")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Events()); got != writers*each {
+		t.Fatalf("got %d events, want %d", got, writers*each)
+	}
+}
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var rec *Recorder
+	sp := rec.Begin("anything")
+	sp.Arg("k", "v")
+	sp.End()
+	rec.Instant("marker")
+	// Reaching here without a panic is the assertion.
+}
+
+func TestChromeJSONGolden(t *testing.T) {
+	clk := &fakeClock{}
+	tr := NewWithClock(clk.read)
+	tr.NamePid(0, "HPCCG N=4")
+	rec := tr.Recorder(0, 3, "rank 3")
+
+	outer := rec.Begin("dump").Arg("approach", "coll-dedup")
+	clk.advance(1500 * time.Microsecond)
+	in := rec.Begin("reduction")
+	clk.advance(500 * time.Microsecond)
+	in.End()
+	outer.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(buf.String())
+	want := `{"traceEvents":[` +
+		`{"name":"process_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"HPCCG N=4"}},` +
+		`{"name":"thread_name","ph":"M","ts":0,"pid":0,"tid":3,"args":{"name":"rank 3"}},` +
+		`{"name":"dump","cat":"dump","ph":"X","ts":0,"dur":2000,"pid":0,"tid":3,"args":{"approach":"coll-dedup"}},` +
+		`{"name":"reduction","cat":"dump","ph":"X","ts":1500,"dur":500,"pid":0,"tid":3}` +
+		`],"displayTimeUnit":"ms"}`
+	if got != want {
+		t.Errorf("golden mismatch\n got: %s\nwant: %s", got, want)
+	}
+
+	// The output must round-trip as valid trace-event JSON.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Errorf("got %d traceEvents, want 4", len(doc.TraceEvents))
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	clk := &fakeClock{}
+	tr := NewWithClock(clk.read)
+	rec := tr.Recorder(0, 0, "rank 0")
+
+	// [0,4ms] covered, [4,5ms] gap, [5,6ms] covered => 5/6 coverage.
+	a := rec.Begin("a")
+	clk.advance(2 * time.Millisecond)
+	b := rec.Begin("b") // overlaps a: union must not double count
+	clk.advance(2 * time.Millisecond)
+	a.End()
+	b.End()
+	clk.advance(time.Millisecond)
+	c := rec.Begin("c")
+	clk.advance(time.Millisecond)
+	c.End()
+
+	got := tr.Coverage()
+	want := 5.0 / 6.0
+	if diff := got - want; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("Coverage() = %v, want %v", got, want)
+	}
+
+	empty := New()
+	if c := empty.Coverage(); c != 1 {
+		t.Errorf("empty trace coverage = %v, want 1", c)
+	}
+}
+
+func TestNextPid(t *testing.T) {
+	tr := New()
+	if p := tr.NextPid(); p != 0 {
+		t.Errorf("first pid = %d, want 0", p)
+	}
+	tr.Recorder(5, 0, "r")
+	if p := tr.NextPid(); p != 6 {
+		t.Errorf("pid after Recorder(5,...) = %d, want 6", p)
+	}
+}
