@@ -1,0 +1,212 @@
+// Command benchdiff gates benchmark regressions in CI.
+//
+// It parses the output of `go test -bench` (read from a file or stdin),
+// compares each benchmark's wall time against a checked-in baseline, and
+// exits non-zero when a *gated* benchmark regressed beyond the allowed
+// threshold. Non-gated benchmarks only warn, so the gate tracks the
+// artifacts the paper's claims rest on (Figure 3a, Table I) without
+// flaking on the long tail.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -run '^$' | tee bench.txt
+//	benchdiff -baseline BENCH_BASELINE.json bench.txt
+//	benchdiff -baseline BENCH_BASELINE.json -update bench.txt   # refresh
+//
+// The baseline file records the threshold, the gated benchmark names and
+// the reference ns/op values:
+//
+//	{
+//	  "threshold": 0.15,
+//	  "gate": ["Fig3aUniqueContent", "Table1CompletionTime"],
+//	  "ns_per_op": {"Fig3aUniqueContent": 123456, ...}
+//	}
+//
+// -update rewrites ns_per_op from the measured run but preserves the
+// threshold and gate list, so refreshing the baseline after an accepted
+// performance change is one command.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the checked-in reference the gate compares against.
+type Baseline struct {
+	// Threshold is the allowed fractional slowdown for gated benchmarks
+	// (0.15 = fail when >15% slower than the baseline).
+	Threshold float64 `json:"threshold"`
+	// Gate lists the benchmark names (Benchmark prefix and -N suffix
+	// stripped) whose regression fails the build.
+	Gate []string `json:"gate"`
+	// NsPerOp maps benchmark name to the reference wall time.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+// parseBench extracts name → ns/op from `go test -bench` output. Lines
+// look like:
+//
+//	BenchmarkFig3aUniqueContent-4    1    123456789 ns/op    ...
+//
+// The Benchmark prefix and the -GOMAXPROCS suffix are stripped so results
+// compare across machines with different core counts.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Find the "ns/op" unit and take the value before it.
+		var ns float64
+		found := false
+		for i := 2; i < len(fields); i++ {
+			if fields[i] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i-1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("benchdiff: bad ns/op in %q: %w", sc.Text(), err)
+				}
+				ns, found = v, true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		out[name] = ns
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// diff compares results against the baseline and returns the report lines
+// plus whether any gated benchmark fails the gate.
+func diff(base *Baseline, results map[string]float64) (lines []string, failed bool) {
+	gated := make(map[string]bool, len(base.Gate))
+	for _, g := range base.Gate {
+		gated[g] = true
+	}
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		got := results[n]
+		ref, ok := base.NsPerOp[n]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("NEW   %-36s %14.0f ns/op (no baseline; run -update)", n, got))
+			continue
+		}
+		delta := (got - ref) / ref
+		status := "ok   "
+		if delta > base.Threshold {
+			if gated[n] {
+				status = "FAIL "
+				failed = true
+			} else {
+				status = "warn "
+			}
+		}
+		lines = append(lines, fmt.Sprintf("%s %-36s %14.0f ns/op  baseline %14.0f  %+6.1f%%", status, n, got, ref, 100*delta))
+	}
+	// A gated benchmark that vanished from the run must fail too:
+	// otherwise deleting a benchmark silently disables its gate.
+	for _, g := range base.Gate {
+		if _, ok := results[g]; !ok {
+			lines = append(lines, fmt.Sprintf("FAIL  %-36s missing from benchmark output (gated)", g))
+			failed = true
+		}
+	}
+	return lines, failed
+}
+
+func run(baselinePath string, update bool, in io.Reader, out io.Writer) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("benchdiff: read baseline: %w", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("benchdiff: parse baseline %s: %w", baselinePath, err)
+	}
+	if base.Threshold <= 0 {
+		return fmt.Errorf("benchdiff: baseline threshold %v must be positive", base.Threshold)
+	}
+	results, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("benchdiff: no benchmark results in input")
+	}
+	if update {
+		base.NsPerOp = results
+		enc, err := json.MarshalIndent(&base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(baselinePath, append(enc, '\n'), 0o644); err != nil {
+			return fmt.Errorf("benchdiff: write baseline: %w", err)
+		}
+		fmt.Fprintf(out, "updated %s with %d benchmarks\n", baselinePath, len(results))
+		return nil
+	}
+	lines, failed := diff(&base, results)
+	for _, l := range lines {
+		fmt.Fprintln(out, l)
+	}
+	if failed {
+		return fmt.Errorf("benchdiff: gated benchmark regressed beyond %.0f%% (or is missing)", 100*base.Threshold)
+	}
+	fmt.Fprintf(out, "all gated benchmarks within %.0f%% of baseline\n", 100*base.Threshold)
+	return nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline JSON to compare against")
+	update := flag.Bool("update", false, "rewrite the baseline's ns_per_op from the measured run")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-update] -baseline BENCH_BASELINE.json [bench-output.txt]\n")
+		fmt.Fprintf(os.Stderr, "reads `go test -bench` output from the file argument or stdin\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := run(*baselinePath, *update, in, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: dedupcr
+BenchmarkFig3aUniqueContent-4            1        100000000 ns/op
+BenchmarkTable1CompletionTime            1        200000000 ns/op           123 B/op          4 allocs/op
+BenchmarkFig4aHPCCGTimeVsK-16            1         50000000 ns/op
+PASS
+ok      dedupcr 3.210s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"Fig3aUniqueContent":   100000000,
+		"Table1CompletionTime": 200000000,
+		"Fig4aHPCCGTimeVsK":    50000000,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func testBaseline() *Baseline {
+	return &Baseline{
+		Threshold: 0.15,
+		Gate:      []string{"Fig3aUniqueContent", "Table1CompletionTime"},
+		NsPerOp: map[string]float64{
+			"Fig3aUniqueContent":   100000000,
+			"Table1CompletionTime": 200000000,
+			"Fig4aHPCCGTimeVsK":    50000000,
+		},
+	}
+}
+
+func TestDiffWithinThresholdPasses(t *testing.T) {
+	results := map[string]float64{
+		"Fig3aUniqueContent":   110000000, // +10%, under 15%
+		"Table1CompletionTime": 190000000, // faster
+		"Fig4aHPCCGTimeVsK":    50000000,
+	}
+	lines, failed := diff(testBaseline(), results)
+	if failed {
+		t.Errorf("gate failed within threshold:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestDiffGatedRegressionFails(t *testing.T) {
+	results := map[string]float64{
+		"Fig3aUniqueContent":   200000000, // 2x slowdown
+		"Table1CompletionTime": 200000000,
+		"Fig4aHPCCGTimeVsK":    50000000,
+	}
+	lines, failed := diff(testBaseline(), results)
+	if !failed {
+		t.Errorf("2x slowdown on gated benchmark did not fail:\n%s", strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "FAIL") || !strings.Contains(joined, "Fig3aUniqueContent") {
+		t.Errorf("report does not name the failing benchmark:\n%s", joined)
+	}
+}
+
+func TestDiffNonGatedRegressionWarnsOnly(t *testing.T) {
+	results := map[string]float64{
+		"Fig3aUniqueContent":   100000000,
+		"Table1CompletionTime": 200000000,
+		"Fig4aHPCCGTimeVsK":    500000000, // 10x, but not gated
+	}
+	lines, failed := diff(testBaseline(), results)
+	if failed {
+		t.Errorf("non-gated regression failed the gate:\n%s", strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "warn") {
+		t.Errorf("non-gated regression did not warn:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestDiffMissingGatedBenchmarkFails(t *testing.T) {
+	results := map[string]float64{
+		"Table1CompletionTime": 200000000,
+	}
+	_, failed := diff(testBaseline(), results)
+	if !failed {
+		t.Error("missing gated benchmark did not fail the gate")
+	}
+}
+
+func TestDiffNewBenchmarkReported(t *testing.T) {
+	results := map[string]float64{
+		"Fig3aUniqueContent":   100000000,
+		"Table1CompletionTime": 200000000,
+		"BrandNew":             1,
+	}
+	lines, failed := diff(testBaseline(), results)
+	if failed {
+		t.Errorf("new benchmark failed the gate:\n%s", strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "NEW") {
+		t.Errorf("new benchmark not flagged:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestRunUpdateRewritesBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	raw, err := json.Marshal(testBaseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(path, true, strings.NewReader(sampleOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	updated, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(updated, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Threshold != 0.15 || len(b.Gate) != 2 {
+		t.Errorf("update clobbered threshold/gate: %+v", b)
+	}
+	if b.NsPerOp["Fig4aHPCCGTimeVsK"] != 50000000 {
+		t.Errorf("update did not record measured values: %+v", b.NsPerOp)
+	}
+}
+
+func TestRunEndToEndGate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	base := testBaseline()
+	base.NsPerOp["Fig3aUniqueContent"] = 10000000 // results are 10x over this
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err = run(path, false, strings.NewReader(sampleOutput), &out)
+	if err == nil {
+		t.Fatalf("10x regression passed the gate:\n%s", out.String())
+	}
+}
+
+func TestRunEmptyInputErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	raw, _ := json.Marshal(testBaseline())
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(path, false, strings.NewReader("no benchmarks here\n"), &out); err == nil {
+		t.Error("empty benchmark input did not error")
+	}
+}

@@ -26,8 +26,9 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink process counts for a fast run")
 	verbose := flag.Bool("v", false, "print scenario progress to stderr")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of every scenario to this file (open in Perfetto)")
+	parallelism := flag.Int("parallelism", 0, "per-rank worker budget for the dump hot path (0 = GOMAXPROCS, 1 = serial reference)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dumpbench [-quick] [-v] [-trace out.json] <experiment-id>... | all\n")
+		fmt.Fprintf(os.Stderr, "usage: dumpbench [-quick] [-v] [-parallelism n] [-trace out.json] <experiment-id>... | all\n")
 		fmt.Fprintf(os.Stderr, "       dumpbench -list\n")
 		flag.PrintDefaults()
 	}
@@ -54,7 +55,7 @@ func main() {
 		ids = args
 	}
 
-	cfg := experiments.Config{Quick: *quick, Verbose: *verbose}
+	cfg := experiments.Config{Quick: *quick, Verbose: *verbose, Parallelism: *parallelism}
 	if *traceOut != "" {
 		cfg.Trace = trace.New()
 	}

@@ -111,26 +111,93 @@ func (c *TCPComm) acceptLoop() {
 	}
 }
 
+// maxFrameSize bounds a single frame payload (1 GiB). The length prefix
+// is attacker- (and bug-) controlled input on the accepting side; without
+// a bound, a corrupt or malicious header makes the reader allocate up to
+// 4 GiB before the stream is even validated. Window puts and reduction
+// tables stay far below this in practice.
+const maxFrameSize = 1 << 30
+
+// writeFrame writes one frame to w: u32 payloadLen | u32 tag | payload.
+// It performs two writes (header, payload) so large payloads are not
+// copied; callers serialize writes per connection.
+func writeFrame(w io.Writer, tag Tag, payload []byte) error {
+	if len(payload) > maxFrameSize {
+		return fmt.Errorf("collectives: frame payload of %d bytes exceeds limit %d", len(payload), maxFrameSize)
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(tag))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// frameAllocChunk is the initial allocation for a frame payload. The
+// buffer grows geometrically as bytes actually arrive, so a corrupt or
+// hostile length prefix costs at most one chunk of memory before the
+// short stream errors out — never the full declared size.
+const frameAllocChunk = 1 << 20
+
+// readFrame reads one frame from r, returning its tag and payload. It
+// rejects frames whose declared payload exceeds maxFrameSize, and
+// allocates progressively so the declared size is only ever backed by
+// bytes that really arrived.
+func readFrame(r io.Reader) (Tag, []byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:4])
+	tag := Tag(binary.BigEndian.Uint32(hdr[4:]))
+	if size > maxFrameSize {
+		return 0, nil, fmt.Errorf("collectives: frame of %d bytes exceeds limit %d", size, maxFrameSize)
+	}
+	total := int(size)
+	step := total
+	if step > frameAllocChunk {
+		step = frameAllocChunk
+	}
+	payload := make([]byte, step)
+	read := 0
+	for {
+		if _, err := io.ReadFull(r, payload[read:]); err != nil {
+			return 0, nil, err
+		}
+		read = len(payload)
+		if read >= total {
+			return tag, payload, nil
+		}
+		next := read * 2
+		if next > total {
+			next = total
+		}
+		grown := make([]byte, next)
+		copy(grown, payload)
+		payload = grown
+	}
+}
+
 // readLoop performs the handshake and pumps frames into the mailbox.
 func (c *TCPComm) readLoop(conn net.Conn) {
 	defer c.wg.Done()
 	defer conn.Close()
-	var hdr [8]byte
-	if _, err := io.ReadFull(conn, hdr[:4]); err != nil {
+	var hs [4]byte
+	if _, err := io.ReadFull(conn, hs[:]); err != nil {
 		return
 	}
-	from := int(binary.BigEndian.Uint32(hdr[:4]))
+	from := int(binary.BigEndian.Uint32(hs[:]))
 	if from < 0 || from >= len(c.addrs) {
 		return
 	}
 	for {
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-			return
-		}
-		size := binary.BigEndian.Uint32(hdr[:4])
-		tag := Tag(binary.BigEndian.Uint32(hdr[4:]))
-		payload := make([]byte, size)
-		if _, err := io.ReadFull(conn, payload); err != nil {
+		tag, payload, err := readFrame(conn)
+		if err != nil {
 			return
 		}
 		c.countRecv(from, len(payload))
@@ -193,16 +260,10 @@ func (c *TCPComm) Send(to int, tag Tag, data []byte) error {
 	if err != nil {
 		return err
 	}
-	var hdr [8]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(len(data)))
-	binary.BigEndian.PutUint32(hdr[4:], uint32(tag))
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, err := s.conn.Write(hdr[:]); err != nil {
-		return fmt.Errorf("collectives: send header to rank %d: %w", to, err)
-	}
-	if _, err := s.conn.Write(data); err != nil {
-		return fmt.Errorf("collectives: send payload to rank %d: %w", to, err)
+	if err := writeFrame(s.conn, tag, data); err != nil {
+		return fmt.Errorf("collectives: send to rank %d: %w", to, err)
 	}
 	c.countSend(to, len(data))
 	return nil

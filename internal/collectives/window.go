@@ -3,6 +3,7 @@ package collectives
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -22,19 +23,27 @@ import (
 // Put and Wait may be interleaved freely; the wire protocol is symmetric
 // across transports (a header frame with the destination offset followed
 // by the payload in the same frame).
+//
+// Put is safe for concurrent use from multiple goroutines of the owning
+// rank (the parallel dump pipeline drives one put stream per partner):
+// the fill and instrumentation counters are atomic, and concurrent local
+// deposits are race-free because the offset planning guarantees disjoint
+// destination regions. Wait must be called from a single goroutine, after
+// or concurrently with the puts.
 type Window struct {
 	comm   Comm
 	tag    Tag
 	buf    []byte
-	filled int64
+	filled atomic.Int64
 
 	// OnPut, when set before the first Put, observes every put's payload
 	// size and wall-clock latency (including transport blocking). The
-	// dump pipeline points it at a latency histogram.
+	// dump pipeline points it at a latency histogram. It may be invoked
+	// concurrently and must be safe for that.
 	OnPut func(bytes int, d time.Duration)
 
-	puts     int
-	putBytes int64
+	puts     atomic.Int64
+	putBytes atomic.Int64
 	waitTime time.Duration
 }
 
@@ -50,7 +59,7 @@ type WindowStats struct {
 
 // Stats returns the window's instrumentation. Call it after Wait.
 func (w *Window) Stats() WindowStats {
-	return WindowStats{Puts: w.puts, PutBytes: w.putBytes, WaitTime: w.waitTime}
+	return WindowStats{Puts: int(w.puts.Load()), PutBytes: w.putBytes.Load(), WaitTime: w.waitTime}
 }
 
 // windowTag derives the tag for a window epoch. Epochs must be issued in
@@ -76,8 +85,8 @@ func (w *Window) Put(target int, offset int64, data []byte) error {
 	start := time.Now()
 	err := w.put(target, offset, data)
 	if err == nil {
-		w.puts++
-		w.putBytes += int64(len(data))
+		w.puts.Add(1)
+		w.putBytes.Add(int64(len(data)))
 		if w.OnPut != nil {
 			w.OnPut(len(data), time.Since(start))
 		}
@@ -96,17 +105,20 @@ func (w *Window) put(target int, offset int64, data []byte) error {
 	return w.comm.Send(target, w.tag, frame)
 }
 
-// deposit writes payload at offset into the local window buffer.
+// deposit writes payload at offset into the local window buffer. Callers
+// depositing concurrently must target disjoint regions (the planner
+// guarantees it); the fill counter is atomic, so the completion check in
+// Wait observes every deposit's copy through the counter's
+// happens-before chain.
 func (w *Window) deposit(offset int64, data []byte) error {
 	if offset < 0 || offset+int64(len(data)) > int64(len(w.buf)) {
 		return fmt.Errorf("collectives: put of %d bytes at offset %d exceeds window of %d bytes",
 			len(data), offset, len(w.buf))
 	}
 	copy(w.buf[offset:], data)
-	w.filled += int64(len(data))
-	if w.filled > int64(len(w.buf)) {
+	if f := w.filled.Add(int64(len(data))); f > int64(len(w.buf)) {
 		return fmt.Errorf("collectives: window overfilled: %d bytes deposited into %d-byte window",
-			w.filled, len(w.buf))
+			f, len(w.buf))
 	}
 	return nil
 }
@@ -121,7 +133,7 @@ func (w *Window) deposit(offset int64, data []byte) error {
 func (w *Window) Wait() ([]byte, error) {
 	start := time.Now()
 	defer func() { w.waitTime += time.Since(start) }()
-	for w.filled < int64(len(w.buf)) {
+	for w.filled.Load() < int64(len(w.buf)) {
 		frame, err := w.recvAny()
 		if err != nil {
 			return nil, err

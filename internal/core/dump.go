@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"sync"
 	"time"
 
 	"dedupcr/internal/chunk"
@@ -89,31 +90,77 @@ func DumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options) 
 	// Phase 1 — chunking and fingerprinting (every byte is hashed once).
 	// Both built-in chunkers expose their boundary scan separately from
 	// hashing (chunk.CutChunker), so the two costs are attributed to their
-	// own phases.
+	// own phases. With Parallelism > 1 the hashing fans out over a bounded
+	// worker pool and phase 2 (plus the reduction's leaf-table build, for
+	// coll-dedup) overlaps it: finished chunks stream to the dedup filter
+	// in dataset order while later chunks are still being hashed, so the
+	// combined cost collapses into the fingerprint wall time. Both paths
+	// produce identical chunks, identical uniq order and an identical leaf
+	// table — the serial path is the reference the parallel one must match
+	// byte for byte.
 	var chunker chunk.Chunker = chunk.NewFixed(o.ChunkSize)
 	if o.ContentDefined {
 		chunker = chunk.NewContentDefined(o.ChunkSize)
 	}
-	var chunks []chunk.Chunk
-	if cc, ok := chunker.(chunk.CutChunker); ok {
-		done := beginPhase(o.Trace, "chunking", &m.Phases.Chunking)
+	var chunks, uniq []chunk.Chunk
+	// leaf is the prebuilt reduction input (parallel coll-dedup only);
+	// reduceGlobal builds its own when nil.
+	var leaf *fingerprint.Table
+	cc, isCut := chunker.(chunk.CutChunker)
+	var done func()
+	switch {
+	case isCut && o.Parallelism > 1:
+		done = beginPhase(o.Trace, "chunking", &m.Phases.Chunking)
+		cuts := cc.Cuts(buf)
+		done()
+		done = beginPhase(o.Trace, "fingerprint", &m.Phases.Fingerprint)
+		if o.Approach == CollDedup {
+			leaf = fingerprint.NewTable(o.F, o.K)
+		}
+		seen := make(map[fingerprint.FP]struct{}, len(cuts))
+		uniq = make([]chunk.Chunk, 0, len(cuts))
+		var busy []time.Duration
+		chunks, busy = chunk.FromCutsStream(buf, cuts, o.Parallelism, func(span []chunk.Chunk) {
+			for _, ch := range span {
+				if _, ok := seen[ch.FP]; ok {
+					continue
+				}
+				seen[ch.FP] = struct{}{}
+				uniq = append(uniq, ch)
+				if leaf != nil {
+					leaf.AddLocal(ch.FP, int32(me))
+				}
+			}
+		})
+		done()
+		m.Phases.FingerprintWorkers = busy
+		// The dedup filter ran inside the fingerprint wall time; only the
+		// leaf table's top-F trim remains.
+		done = beginPhase(o.Trace, "local-dedup", &m.Phases.LocalDedup)
+		if leaf != nil {
+			leaf.Trim()
+		}
+		done()
+	case isCut:
+		done = beginPhase(o.Trace, "chunking", &m.Phases.Chunking)
 		cuts := cc.Cuts(buf)
 		done()
 		done = beginPhase(o.Trace, "fingerprint", &m.Phases.Fingerprint)
 		chunks = chunk.FromCuts(buf, cuts)
 		done()
-	} else {
-		done := beginPhase(o.Trace, "chunking", &m.Phases.Chunking)
+		done = beginPhase(o.Trace, "local-dedup", &m.Phases.LocalDedup)
+		uniq = localDedup(chunks)
+		done()
+	default:
+		done = beginPhase(o.Trace, "chunking", &m.Phases.Chunking)
 		chunks = chunker.Split(buf)
+		done()
+		done = beginPhase(o.Trace, "local-dedup", &m.Phases.LocalDedup)
+		uniq = localDedup(chunks)
 		done()
 	}
 	m.TotalChunks = len(chunks)
 	m.HashedBytes = int64(len(buf))
-
-	// Phase 2 — local deduplication: one copy per distinct fingerprint.
-	done := beginPhase(o.Trace, "local-dedup", &m.Phases.LocalDedup)
-	uniq := localDedup(chunks)
-	done()
 	m.LocalUniqueChunks = len(uniq)
 
 	// Phase 3 — classification. For coll-dedup this runs the collective
@@ -128,7 +175,7 @@ func DumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options) 
 		classifyDst, classifyName = &m.Phases.Reduction, "reduction"
 	}
 	done = beginPhase(o.Trace, classifyName, classifyDst)
-	items, hints, global, err := classify(c, chunks, uniq, o, &m)
+	items, hints, global, err := classify(c, chunks, uniq, leaf, o, &m)
 	done()
 	if err != nil {
 		return nil, fmt.Errorf("rank %d classify: %w", me, err)
@@ -197,23 +244,15 @@ func DumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options) 
 	}
 	offs := plan.Offsets(me)
 	done = beginPhase(o.Trace, "put", &m.Phases.Put)
-	for d := 1; d < o.K; d++ {
-		target := plan.Partner(me, d)
-		off := offs[d]
-		for _, it := range items {
-			if !sendsTo(it, d) {
-				continue
-			}
-			rec := encodeRecord(it.ch.Data)
-			if err := win.Put(target, off, rec); err != nil {
-				return nil, fmt.Errorf("rank %d put to %d: %w", me, target, err)
-			}
-			off += int64(len(rec))
-			m.SentChunks++
-			m.SentBytes += int64(len(it.ch.Data))
-		}
+	if o.Parallelism > 1 && o.K > 2 {
+		err = putParallel(win, plan, items, offs, o, me, &m)
+	} else {
+		err = putSerial(win, plan, items, offs, o, me, &m)
 	}
 	done()
+	if err != nil {
+		return nil, fmt.Errorf("rank %d %w", me, err)
+	}
 	done = beginPhase(o.Trace, "window-wait", &m.Phases.WindowWait)
 	recvBuf, err := win.Wait()
 	done()
@@ -259,6 +298,91 @@ func DumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options) 
 	return &Result{Metrics: m, Plan: plan, Global: global}, nil
 }
 
+// putPartner pushes every item destined for partner index d into the
+// target's window, records starting at off. The per-partner offset
+// regions are disjoint by construction (Algorithm 3), so putPartner calls
+// for different d never touch the same window bytes — which is what makes
+// them safe to run concurrently. Returns chunks and payload bytes sent.
+func putPartner(win *collectives.Window, target int, off int64, items []item, d int) (int, int64, error) {
+	var chunks int
+	var bytes int64
+	for _, it := range items {
+		if !sendsTo(it, d) {
+			continue
+		}
+		rec := encodeRecord(it.ch.Data)
+		if err := win.Put(target, off, rec); err != nil {
+			return chunks, bytes, fmt.Errorf("put to %d: %w", target, err)
+		}
+		off += int64(len(rec))
+		chunks++
+		bytes += int64(len(it.ch.Data))
+	}
+	return chunks, bytes, nil
+}
+
+// putSerial is the reference put phase: partner windows filled one after
+// the other, in partner-index order.
+func putSerial(win *collectives.Window, plan *Plan, items []item, offs []int64, o Options, me int, m *metrics.Dump) error {
+	for d := 1; d < o.K; d++ {
+		chunks, bytes, err := putPartner(win, plan.Partner(me, d), offs[d], items, d)
+		m.SentChunks += chunks
+		m.SentBytes += bytes
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// putParallel drives one goroutine per partner window, bounded by
+// o.Parallelism. Each partner's record stream stays on a single goroutine
+// in item order and lands at the same planned offsets as the serial path,
+// so the windows every peer drains are byte-identical — only the
+// interleaving across partners changes. Per-partner counters are
+// accumulated in partner order after the join, keeping the metrics
+// deterministic too; each worker records its own trace span, attributed
+// via the partner arg.
+func putParallel(win *collectives.Window, plan *Plan, items []item, offs []int64, o Options, me int, m *metrics.Dump) error {
+	type putResult struct {
+		chunks int
+		bytes  int64
+		busy   time.Duration
+		err    error
+	}
+	results := make([]putResult, o.K-1)
+	sem := make(chan struct{}, o.Parallelism)
+	var wg sync.WaitGroup
+	for d := 1; d < o.K; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			sp := o.Trace.Begin("put-worker").
+				Arg("partner", fmt.Sprint(d)).
+				Arg("target", fmt.Sprint(plan.Partner(me, d)))
+			chunks, bytes, err := putPartner(win, plan.Partner(me, d), offs[d], items, d)
+			sp.End()
+			results[d-1] = putResult{chunks, bytes, time.Since(start), err}
+		}(d)
+	}
+	wg.Wait()
+	m.Phases.PutWorkers = make([]time.Duration, o.K-1)
+	var firstErr error
+	for d := 1; d < o.K; d++ {
+		r := results[d-1]
+		m.SentChunks += r.chunks
+		m.SentBytes += r.bytes
+		m.Phases.PutWorkers[d-1] = r.busy
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	return firstErr
+}
+
 // localDedup keeps the first occurrence of every distinct fingerprint,
 // preserving dataset order.
 func localDedup(chunks []chunk.Chunk) []chunk.Chunk {
@@ -277,8 +401,10 @@ func localDedup(chunks []chunk.Chunk) []chunk.Chunk {
 // classify decides the fate of every chunk under the selected approach.
 // It returns the chunks to keep (with their replication depth), the
 // location hints for discarded chunks, and the global view (coll-dedup
-// only).
-func classify(c collectives.Comm, all, uniq []chunk.Chunk, o Options, m *metrics.Dump) ([]item, map[fingerprint.FP][]int32, *fingerprint.Table, error) {
+// only). leaf, when non-nil, is the prebuilt (and trimmed) reduction leaf
+// table of this rank's unique fingerprints, produced by the parallel
+// pipeline overlapping its construction with hashing.
+func classify(c collectives.Comm, all, uniq []chunk.Chunk, leaf *fingerprint.Table, o Options, m *metrics.Dump) ([]item, map[fingerprint.FP][]int32, *fingerprint.Table, error) {
 	switch o.Approach {
 	case NoDedup:
 		// Full replication: every chunk, duplicates included, is stored
@@ -300,7 +426,7 @@ func classify(c collectives.Comm, all, uniq []chunk.Chunk, o Options, m *metrics
 		return items, nil, nil, nil
 
 	case CollDedup:
-		global, err := reduceGlobal(c, uniq, o, m)
+		global, err := reduceGlobal(c, uniq, leaf, o, m)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -464,13 +590,18 @@ func roundRobinShare(k, d, idx int) int {
 
 // reduceGlobal runs the collective fingerprint reduction: local leaf
 // tables merged pairwise up a binomial tree (HMERGE) and the surviving
-// top-F view broadcast to everyone.
-func reduceGlobal(c collectives.Comm, uniq []chunk.Chunk, o Options, m *metrics.Dump) (*fingerprint.Table, error) {
-	fps := make([]fingerprint.FP, len(uniq))
-	for i, ch := range uniq {
-		fps[i] = ch.FP
+// top-F view broadcast to everyone. A non-nil prebuilt leaf table (from
+// the parallel pipeline) enters the tree directly; otherwise the leaf is
+// built here from the unique chunks — both constructions are identical.
+func reduceGlobal(c collectives.Comm, uniq []chunk.Chunk, leaf *fingerprint.Table, o Options, m *metrics.Dump) (*fingerprint.Table, error) {
+	local := leaf
+	if local == nil {
+		fps := make([]fingerprint.FP, len(uniq))
+		for i, ch := range uniq {
+			fps[i] = ch.FP
+		}
+		local = fingerprint.Local(fps, int32(c.Rank()), o.F, o.K)
 	}
-	local := fingerprint.Local(fps, int32(c.Rank()), o.F, o.K)
 	blob, err := local.MarshalBinary()
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"dedupcr/internal/chunk"
 	"dedupcr/internal/trace"
@@ -77,6 +78,15 @@ type Options struct {
 	// conditionals. Unlike the other options, Trace may differ per rank
 	// (each rank owns its recorder).
 	Trace *trace.Recorder
+	// Parallelism bounds the worker goroutines of the per-rank hot path:
+	// the chunk-hashing pool (with the local-dedup and reduction-leaf
+	// table builds overlapped into it) and the concurrent partner puts of
+	// the window exchange. 0 selects GOMAXPROCS; 1 forces the fully
+	// serial reference path. Every setting produces byte-identical
+	// results — same chunk boundaries, fingerprints and replica placement
+	// — so figures and tables reproduce regardless. Parallelism may
+	// differ per rank (it only shapes local execution).
+	Parallelism int
 }
 
 // normalized resolves defaults and validates against the group size.
@@ -102,6 +112,9 @@ func (o Options) normalized(groupSize int) (Options, error) {
 	}
 	if o.Name == "" {
 		o.Name = "dataset"
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return o, nil
 }

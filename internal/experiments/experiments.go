@@ -81,6 +81,13 @@ type Config struct {
 	// rank. Tracing bypasses the scenario cache so the spans always
 	// reflect a live run.
 	Trace *trace.Trace
+	// Parallelism sets core.Options.Parallelism for every dump the
+	// experiments run: the per-rank worker budget of the hot path. 0
+	// keeps the default (GOMAXPROCS); 1 forces the serial reference
+	// path. Results are byte-identical either way (only timings move),
+	// but scenarios are cached per setting so timing experiments can
+	// compare them.
+	Parallelism int
 }
 
 // Experiment regenerates one paper artifact.
@@ -104,6 +111,7 @@ var Registry = []Experiment{
 	{"fig5c", "CM1: impact of rank shuffling (Figure 5c)", Fig5c},
 	// Beyond the paper: observability and ablations of the design choices.
 	{"phases", "Per-phase timing breakdown of the dump pipeline (observability)", PhasesBreakdown},
+	{"parallel", "Ablation: hot-path parallelism, serial vs GOMAXPROCS workers (beyond paper)", AblationParallel},
 	{"ablation-shuffle", "Ablation: partner-selection strategies (beyond paper)", AblationShuffle},
 	{"ablation-restore", "Ablation: restore cost vs node failures (beyond paper)", AblationRestore},
 	{"ablation-hybrid", "Ablation: replication vs dedup+erasure hybrid (beyond paper)", AblationHybrid},

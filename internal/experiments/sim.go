@@ -152,7 +152,7 @@ func RunScenario(cfg Config, w Workload, n, k int, approach core.Approach, shuff
 	if cfg.Trace != nil {
 		return runScenarioUncached(cfg, w, n, k, approach, shuffle)
 	}
-	key := fmt.Sprintf("%s/%d/%d/%d/%t", w.Name, n, k, approach, shuffle)
+	key := fmt.Sprintf("%s/%d/%d/%d/%t/p%d", w.Name, n, k, approach, shuffle, cfg.Parallelism)
 	if v, ok := scenarioCache.Load(key); ok {
 		return v.(*ScenarioResult), nil
 	}
@@ -201,13 +201,14 @@ func runScenarioUncached(cfg Config, w Workload, n, k int, approach core.Approac
 			}
 			sp.End()
 			o := core.Options{
-				K:         k,
-				Approach:  approach,
-				F:         w.F,
-				ChunkSize: w.ChunkSize,
-				Shuffle:   core.Bool(shuffle),
-				Name:      fmt.Sprintf("%s-ck%d", w.Name, ck),
-				Trace:     rec,
+				K:           k,
+				Approach:    approach,
+				F:           w.F,
+				ChunkSize:   w.ChunkSize,
+				Shuffle:     core.Bool(shuffle),
+				Name:        fmt.Sprintf("%s-ck%d", w.Name, ck),
+				Trace:       rec,
+				Parallelism: cfg.Parallelism,
 			}
 			r, err := core.DumpOutput(c, cluster.Node(c.Rank()), app.CheckpointImage(), o)
 			if err != nil {

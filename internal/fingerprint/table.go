@@ -78,15 +78,30 @@ func NewTable(f, k int) *Table {
 func Local(fps []FP, rank int32, f, k int) *Table {
 	t := NewTable(f, k)
 	for _, fp := range fps {
-		if _, ok := t.entries[fp]; ok {
-			continue
-		}
-		t.entries[fp] = &Entry{FP: fp, Freq: 1, Ranks: []int32{rank}}
-		t.load[rank]++
+		t.AddLocal(fp, rank)
 	}
-	t.trim()
+	t.Trim()
 	return t
 }
+
+// AddLocal inserts one locally observed fingerprint into a leaf table
+// under construction: frequency 1, the calling rank designated. Repeated
+// fingerprints are collapsed, so callers may feed the raw chunk stream.
+// The parallel dump pipeline builds its leaf table incrementally through
+// AddLocal while later chunks are still being hashed; callers must invoke
+// Trim once the stream ends to restore the top-F bound before the table
+// enters a reduction.
+func (t *Table) AddLocal(fp FP, rank int32) {
+	if _, ok := t.entries[fp]; ok {
+		return
+	}
+	t.entries[fp] = &Entry{FP: fp, Freq: 1, Ranks: []int32{rank}}
+	t.load[rank]++
+}
+
+// Trim enforces the top-F bound, the closing step of incremental leaf
+// construction via AddLocal. Merge applies it automatically.
+func (t *Table) Trim() { t.trim() }
 
 // Len returns the number of entries currently held.
 func (t *Table) Len() int { return len(t.entries) }

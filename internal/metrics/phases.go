@@ -29,6 +29,15 @@ type Phases struct {
 	// ReductionRoundTimes holds this rank's per-round durations of the
 	// reduction tree, when the transport recorded them.
 	ReductionRoundTimes []time.Duration
+	// FingerprintWorkers holds the per-worker busy durations of the
+	// parallel hashing pool (index = worker id); empty for serial dumps
+	// (Parallelism = 1). The wall-clock cost stays in Fingerprint; these
+	// attribute it to workers.
+	FingerprintWorkers []time.Duration
+	// PutWorkers holds the per-worker busy durations of the concurrent
+	// partner-put phase (index = partner index - 1); empty for serial
+	// dumps. The wall-clock cost stays in Put.
+	PutWorkers []time.Duration
 	// LoadExchange covers the load-vector allgathers (both rounds).
 	LoadExchange time.Duration
 	// Planning covers shuffle computation, replica-target refinement and
@@ -75,6 +84,8 @@ func (p *Phases) Add(q Phases) {
 	p.LocalDedup += q.LocalDedup
 	p.Reduction += q.Reduction
 	p.ReductionRoundTimes = append(p.ReductionRoundTimes, q.ReductionRoundTimes...)
+	p.FingerprintWorkers = append(p.FingerprintWorkers, q.FingerprintWorkers...)
+	p.PutWorkers = append(p.PutWorkers, q.PutWorkers...)
 	p.LoadExchange += q.LoadExchange
 	p.Planning += q.Planning
 	p.WindowOpen += q.WindowOpen
@@ -85,8 +96,8 @@ func (p *Phases) Add(q Phases) {
 	p.Total += q.Total
 }
 
-// Scale multiplies every duration by f (round times dropped), turning an
-// Add-accumulated Phases into a mean.
+// Scale multiplies every duration by f (per-round and per-worker
+// attributions dropped), turning an Add-accumulated Phases into a mean.
 func (p Phases) Scale(f float64) Phases {
 	s := func(d time.Duration) time.Duration {
 		return time.Duration(float64(d) * f)
