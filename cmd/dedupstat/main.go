@@ -5,14 +5,21 @@
 // Usage:
 //
 //	dedupstat [-chunk 4096] [-cdc] file...
+//	dedupstat -cluster cluster.json
 //
 // It reports, per file and across all files, the total size, the locally
 // unique size (per-file dedup, the paper's local-dedup potential) and the
 // globally unique size (cross-file dedup, the coll-dedup potential), plus
 // a frequency histogram of duplicate chunks.
+//
+// With -cluster it instead renders a ClusterDump JSON file (written by
+// `dumpbench -cluster` or `replicad -cluster`) as the cluster telemetry
+// table: per-phase min/median/p95/max across ranks, traffic totals,
+// load-imbalance coefficients, clock spread and flagged stragglers.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,16 +29,26 @@ import (
 	"dedupcr/internal/chunk"
 	"dedupcr/internal/fingerprint"
 	"dedupcr/internal/metrics"
+	"dedupcr/internal/telemetry"
 )
 
 func main() {
 	chunkSize := flag.Int("chunk", chunk.DefaultSize, "fixed chunk size in bytes")
 	cdc := flag.Bool("cdc", false, "use content-defined chunking instead of fixed-size")
+	clusterIn := flag.String("cluster", "", "render this ClusterDump JSON file as a cluster telemetry table and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dedupstat [-chunk N] [-cdc] file...\n")
+		fmt.Fprintf(os.Stderr, "       dedupstat -cluster cluster.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *clusterIn != "" {
+		if err := renderCluster(*clusterIn); err != nil {
+			fmt.Fprintf(os.Stderr, "dedupstat: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
@@ -123,6 +140,38 @@ func main() {
 		fmt.Printf("%-12s %10s  %s\n", p.name, metrics.Duration(p.d),
 			metrics.Pct(int64(p.d), int64(tTotal)))
 	}
+}
+
+// renderCluster prints the cluster telemetry table(s) of a ClusterDump
+// JSON file: either one dump (replicad -cluster) or a map of labelled
+// dumps (dumpbench -cluster).
+func renderCluster(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var one telemetry.ClusterDump
+	if err := json.Unmarshal(data, &one); err == nil && one.Ranks > 0 {
+		one.WriteText(os.Stdout)
+		return nil
+	}
+	var many map[string]*telemetry.ClusterDump
+	if err := json.Unmarshal(data, &many); err != nil || len(many) == 0 {
+		return fmt.Errorf("%s holds neither a ClusterDump nor a label map", path)
+	}
+	labels := make([]string, 0, len(many))
+	for l := range many {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for i, l := range labels {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("== %s ==\n", l)
+		many[l].WriteText(os.Stdout)
+	}
+	return nil
 }
 
 func trunc(s string, n int) string {

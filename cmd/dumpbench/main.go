@@ -12,12 +12,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"dedupcr/internal/experiments"
+	"dedupcr/internal/telemetry"
 	"dedupcr/internal/trace"
 )
 
@@ -26,9 +28,11 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink process counts for a fast run")
 	verbose := flag.Bool("v", false, "print scenario progress to stderr")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of every scenario to this file (open in Perfetto)")
+	clusterOut := flag.String("cluster", "", "write the ClusterDump JSON of every telemetry-aggregating scenario to this file (keyed by scenario label)")
+	clusterTrace := flag.String("cluster-trace", "", "write a merged cross-rank Chrome trace (one pid per rank) of the last telemetry-aggregating scenario to this file")
 	parallelism := flag.Int("parallelism", 0, "per-rank worker budget for the dump hot path (0 = GOMAXPROCS, 1 = serial reference)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dumpbench [-quick] [-v] [-parallelism n] [-trace out.json] <experiment-id>... | all\n")
+		fmt.Fprintf(os.Stderr, "usage: dumpbench [-quick] [-v] [-parallelism n] [-trace out.json] [-cluster out.json] [-cluster-trace out.json] <experiment-id>... | all\n")
 		fmt.Fprintf(os.Stderr, "       dumpbench -list\n")
 		flag.PrintDefaults()
 	}
@@ -59,6 +63,18 @@ func main() {
 	if *traceOut != "" {
 		cfg.Trace = trace.New()
 	}
+	// Collect every ClusterDump the experiments aggregate; files are
+	// written once after all experiments ran.
+	clusters := map[string]*telemetry.ClusterDump{}
+	var lastLabel string
+	var lastRanks []telemetry.RankTrace
+	var lastCluster *telemetry.ClusterDump
+	if *clusterOut != "" || *clusterTrace != "" {
+		cfg.OnCluster = func(label string, cd *telemetry.ClusterDump, ranks []telemetry.RankTrace) {
+			clusters[label] = cd
+			lastLabel, lastCluster, lastRanks = label, cd, ranks
+		}
+	}
 	for _, id := range ids {
 		exp, ok := experiments.Lookup(id)
 		if !ok {
@@ -81,5 +97,38 @@ func main() {
 		}
 		fmt.Printf("wrote %d trace events to %s (coverage %.1f%% of traced wall time)\n",
 			len(cfg.Trace.Events()), *traceOut, 100*cfg.Trace.Coverage())
+	}
+	if *clusterOut != "" {
+		if len(clusters) == 0 {
+			fmt.Fprintf(os.Stderr, "dumpbench: -cluster set but no experiment aggregated cluster telemetry (run imbalance)\n")
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(clusters, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*clusterOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dumpbench: write cluster dump: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d cluster dumps to %s\n", len(clusters), *clusterOut)
+	}
+	if *clusterTrace != "" {
+		if lastRanks == nil {
+			fmt.Fprintf(os.Stderr, "dumpbench: -cluster-trace set but no experiment aggregated cluster telemetry (run imbalance)\n")
+			os.Exit(1)
+		}
+		f, err := os.Create(*clusterTrace)
+		if err == nil {
+			err = telemetry.MergeTraces(f, lastRanks, lastCluster)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dumpbench: write merged trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote merged cross-rank trace of %s to %s\n", lastLabel, *clusterTrace)
 	}
 }

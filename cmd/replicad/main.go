@@ -18,6 +18,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +26,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"strings"
+	"sync/atomic"
 
 	"dedupcr/internal/apps/cm1"
 	"dedupcr/internal/apps/hpccg"
@@ -32,8 +34,41 @@ import (
 	"dedupcr/internal/core"
 	"dedupcr/internal/metrics"
 	"dedupcr/internal/storage"
+	"dedupcr/internal/telemetry"
 	"dedupcr/internal/trace"
 )
+
+// liveCluster holds the latest in-band ClusterDump for the HTTP
+// endpoints. Only rank 0 ever publishes (the gather delivers there);
+// other ranks' endpoints stay 503.
+var liveCluster atomic.Pointer[telemetry.ClusterDump]
+
+// registerClusterHandlers wires the cluster telemetry endpoints onto the
+// default mux (served by the -pprof debug address): /cluster returns the
+// latest ClusterDump as JSON, /cluster/metrics as a Prometheus
+// exposition of the dedupcr_cluster_* families.
+func registerClusterHandlers() {
+	http.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+		cd := liveCluster.Load()
+		if cd == nil {
+			http.Error(w, "no cluster dump gathered yet (rank 0 only)", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(cd)
+	})
+	http.HandleFunc("/cluster/metrics", func(w http.ResponseWriter, r *http.Request) {
+		cd := liveCluster.Load()
+		if cd == nil {
+			http.Error(w, "no cluster dump gathered yet (rank 0 only)", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		cd.WritePrometheus(w)
+	})
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -50,9 +85,11 @@ func run() error {
 	approach := flag.String("approach", "coll", "no | local | coll")
 	name := flag.String("name", "ckpt", "dataset name")
 	chunkSize := flag.Int("chunk", 4096, "chunk size in bytes")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof plus the /cluster and /cluster/metrics telemetry endpoints on this address (e.g. localhost:6060)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of this rank's run to this file")
 	stats := flag.Bool("stats", false, "dump Prometheus-style counters to stderr on exit")
+	legacyPutSummary := flag.Bool("legacy-put-summary", false, "expose put latency as the old quantile summary instead of the bucketed histogram")
+	clusterOut := flag.String("cluster", "", "rank 0: write the gathered ClusterDump JSON of the dump to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: replicad -rank R -hosts FILE [flags] dump|restore [verb flags]\n")
 		flag.PrintDefaults()
@@ -72,6 +109,7 @@ func run() error {
 	}
 
 	if *pprofAddr != "" {
+		registerClusterHandlers()
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "replicad: pprof: %v\n", err)
@@ -127,7 +165,11 @@ func run() error {
 	verbArgs := flag.Args()[1:]
 	switch verb {
 	case "dump":
-		err = doDump(comm, store, opts, verbArgs, *stats)
+		err = doDump(comm, store, opts, verbArgs, dumpOutputs{
+			stats:      *stats,
+			promOpts:   metrics.PromOptions{LegacyPutSummary: *legacyPutSummary},
+			clusterOut: *clusterOut,
+		})
 	case "restore":
 		err = doRestore(comm, store, *name, verbArgs, rec)
 	default:
@@ -153,27 +195,27 @@ func run() error {
 // format, per-peer counters included.
 func writeCommStats(w io.Writer, rank int, s collectives.Stats) {
 	label := fmt.Sprintf("rank=%q", fmt.Sprint(rank))
-	fmt.Fprintln(w, "# TYPE dedupcr_comm_sent_bytes_total counter")
-	fmt.Fprintf(w, "dedupcr_comm_sent_bytes_total{%s} %d\n", label, s.BytesSent)
-	fmt.Fprintln(w, "# TYPE dedupcr_comm_recv_bytes_total counter")
-	fmt.Fprintf(w, "dedupcr_comm_recv_bytes_total{%s} %d\n", label, s.BytesRecv)
-	fmt.Fprintln(w, "# TYPE dedupcr_comm_sent_msgs_total counter")
-	fmt.Fprintf(w, "dedupcr_comm_sent_msgs_total{%s} %d\n", label, s.MsgsSent)
-	fmt.Fprintln(w, "# TYPE dedupcr_comm_recv_msgs_total counter")
-	fmt.Fprintf(w, "dedupcr_comm_recv_msgs_total{%s} %d\n", label, s.MsgsRecv)
-	fmt.Fprintln(w, "# TYPE dedupcr_comm_collective_ops_total counter")
-	fmt.Fprintf(w, "dedupcr_comm_collective_ops_total{%s} %d\n", label, s.CollOps)
-	fmt.Fprintln(w, "# TYPE dedupcr_comm_collective_rounds_total counter")
-	fmt.Fprintf(w, "dedupcr_comm_collective_rounds_total{%s} %d\n", label, s.CollRounds)
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s{%s} %d\n", name, help, name, name, label, v)
+	}
+	counter("dedupcr_comm_sent_bytes_total", "Transport bytes this rank sent.", s.BytesSent)
+	counter("dedupcr_comm_recv_bytes_total", "Transport bytes this rank received.", s.BytesRecv)
+	counter("dedupcr_comm_sent_msgs_total", "Transport messages this rank sent.", s.MsgsSent)
+	counter("dedupcr_comm_recv_msgs_total", "Transport messages this rank received.", s.MsgsRecv)
+	counter("dedupcr_comm_collective_ops_total", "Collective calls this rank entered.", s.CollOps)
+	counter("dedupcr_comm_collective_rounds_total", "Collective rounds this rank ran.", s.CollRounds)
+	fmt.Fprintln(w, "# HELP dedupcr_comm_collective_seconds_total Wall time this rank spent inside collectives.")
 	fmt.Fprintln(w, "# TYPE dedupcr_comm_collective_seconds_total counter")
 	fmt.Fprintf(w, "dedupcr_comm_collective_seconds_total{%s} %g\n", label, s.CollTime.Seconds())
 	if len(s.Peers) > 0 {
+		fmt.Fprintln(w, "# HELP dedupcr_comm_peer_sent_bytes_total Transport bytes this rank sent to one peer.")
 		fmt.Fprintln(w, "# TYPE dedupcr_comm_peer_sent_bytes_total counter")
 		for p, ps := range s.Peers {
 			if ps.BytesSent != 0 || ps.MsgsSent != 0 {
 				fmt.Fprintf(w, "dedupcr_comm_peer_sent_bytes_total{%s,peer=\"%d\"} %d\n", label, p, ps.BytesSent)
 			}
 		}
+		fmt.Fprintln(w, "# HELP dedupcr_comm_peer_recv_bytes_total Transport bytes this rank received from one peer.")
 		fmt.Fprintln(w, "# TYPE dedupcr_comm_peer_recv_bytes_total counter")
 		for p, ps := range s.Peers {
 			if ps.BytesRecv != 0 || ps.MsgsRecv != 0 {
@@ -183,29 +225,28 @@ func writeCommStats(w io.Writer, rank int, s collectives.Stats) {
 	}
 }
 
-// writeStoreStats emits store read/write latency summaries.
+// writeStoreStats emits store read/write latency histograms on the
+// shared metrics.LatencyBuckets ladder (aggregable across ranks).
 func writeStoreStats(w io.Writer, rank int, t *storage.Timed) {
 	if t == nil {
 		return
 	}
-	emit := func(name string, h *metrics.Histogram) {
-		if h.Count() == 0 {
-			return
-		}
+	emit := func(name, help string, h *metrics.Histogram) {
 		label := fmt.Sprintf("rank=%q", fmt.Sprint(rank))
-		fmt.Fprintf(w, "# TYPE %s summary\n", name)
-		for _, q := range []float64{0.5, 0.95, 0.99} {
-			fmt.Fprintf(w, "%s{%s,quantile=\"%g\"} %g\n", name, label, q,
-				float64(h.Quantile(q))/1e9)
-		}
-		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, label, float64(h.Sum())/1e9)
-		fmt.Fprintf(w, "%s_count{%s} %d\n", name, label, h.Count())
+		metrics.WriteLatencyHistogram(w, name, help, label, h)
 	}
-	emit("dedupcr_store_read_latency_seconds", t.ReadLatency())
-	emit("dedupcr_store_write_latency_seconds", t.WriteLatency())
+	emit("dedupcr_store_read_latency_seconds", "Local store read latency.", t.ReadLatency())
+	emit("dedupcr_store_write_latency_seconds", "Local store write latency.", t.WriteLatency())
 }
 
-func doDump(comm collectives.Comm, store storage.Store, opts core.Options, args []string, stats bool) error {
+// dumpOutputs bundles doDump's reporting knobs.
+type dumpOutputs struct {
+	stats      bool
+	promOpts   metrics.PromOptions
+	clusterOut string
+}
+
+func doDump(comm collectives.Comm, store storage.Store, opts core.Options, args []string, out dumpOutputs) error {
 	fs := flag.NewFlagSet("dump", flag.ExitOnError)
 	workload := fs.String("workload", "", "generate a workload checkpoint: hpccg | cm1")
 	in := fs.String("in", "", "dump this file instead of a generated workload")
@@ -253,8 +294,34 @@ func doDump(comm collectives.Comm, store storage.Store, opts core.Options, args 
 		}
 	}
 	fmt.Printf(" total=%s\n", metrics.Duration(m.Phases.Total))
-	if stats {
-		m.WritePrometheus(os.Stderr)
+	if out.stats {
+		m.WritePrometheusOpts(os.Stderr, out.promOpts)
+	}
+
+	// Gather the whole group's metrics to rank 0 in-band. Every rank
+	// enters the collective unconditionally (the flags may differ per
+	// invocation; a one-sided gather would hang), rank 0 publishes.
+	cd, err := telemetry.GatherCluster(comm, m, telemetry.Options{})
+	if err != nil {
+		return err
+	}
+	if cd != nil {
+		liveCluster.Store(cd)
+		if out.stats {
+			fmt.Fprintln(os.Stderr)
+			cd.WriteText(os.Stderr)
+			cd.WritePrometheus(os.Stderr)
+		}
+		if out.clusterOut != "" {
+			data, err := json.MarshalIndent(cd, "", "  ")
+			if err == nil {
+				err = os.WriteFile(out.clusterOut, data, 0o644)
+			}
+			if err != nil {
+				return fmt.Errorf("write cluster dump: %w", err)
+			}
+			fmt.Printf("rank 0: wrote cluster dump of %d ranks to %s\n", cd.Ranks, out.clusterOut)
+		}
 	}
 	return nil
 }

@@ -1,14 +1,23 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
+
+	"dedupcr/internal/metrics"
+	"dedupcr/internal/telemetry"
 )
 
 // TestEndToEndMultiProcess builds the replicad binary and runs a real
@@ -65,6 +74,7 @@ func TestEndToEndMultiProcess(t *testing.T) {
 					"-chunk", "256",
 					"-stats",
 					"-trace", filepath.Join(dir, fmt.Sprintf("trace%d.json", rank)),
+					"-cluster", filepath.Join(dir, "cluster.json"),
 					verb,
 				}
 				args = append(args, extra...)
@@ -107,6 +117,28 @@ func TestEndToEndMultiProcess(t *testing.T) {
 			t.Errorf("rank %d trace file lacks traceEvents: %.80s", r, data)
 		}
 	}
+	// Rank 0 gathered the whole group's metrics in-band: the cluster
+	// table on stderr, the dedupcr_cluster_* families, and the JSON file.
+	if !strings.Contains(outs[0], "cluster dump: 4 ranks") {
+		t.Errorf("rank 0 missing cluster table:\n%s", outs[0])
+	}
+	if !strings.Contains(outs[0], "dedupcr_cluster_ranks 4") {
+		t.Errorf("rank 0 missing cluster exposition:\n%s", outs[0])
+	}
+	var cd telemetry.ClusterDump
+	cj, err := os.ReadFile(filepath.Join(dir, "cluster.json"))
+	if err != nil {
+		t.Fatalf("cluster JSON: %v", err)
+	}
+	if err := json.Unmarshal(cj, &cd); err != nil {
+		t.Fatalf("cluster JSON: %v\n%s", err, cj)
+	}
+	if cd.Ranks != n || len(cd.PerRank) != n {
+		t.Errorf("cluster JSON has %d ranks / %d summaries, want %d", cd.Ranks, len(cd.PerRank), n)
+	}
+	if cd.Phase("total").Max <= 0 {
+		t.Errorf("cluster JSON total spread empty: %+v", cd.Phase("total"))
+	}
 
 	// Phase 2: restore with intact stores.
 	outs = runAll("restore")
@@ -126,6 +158,74 @@ func TestEndToEndMultiProcess(t *testing.T) {
 		if !strings.Contains(out, "restored") {
 			t.Errorf("rank %d post-failure restore output: %q", r, out)
 		}
+	}
+}
+
+// TestClusterEndpoints exercises the rank-0 telemetry HTTP surface:
+// /cluster serves the latest gathered ClusterDump as JSON (503 before the
+// first dump completes), /cluster/metrics serves the dedupcr_cluster_*
+// Prometheus families in strict exposition format.
+func TestClusterEndpoints(t *testing.T) {
+	registerClusterHandlers()
+	srv := httptest.NewServer(http.DefaultServeMux)
+	defer srv.Close()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s body: %v", path, err)
+		}
+		return resp.StatusCode, body
+	}
+
+	if code, _ := get("/cluster"); code != http.StatusServiceUnavailable {
+		t.Errorf("/cluster before any dump: status %d, want 503", code)
+	}
+	if code, _ := get("/cluster/metrics"); code != http.StatusServiceUnavailable {
+		t.Errorf("/cluster/metrics before any dump: status %d, want 503", code)
+	}
+
+	// Publish a gathered dump the way doDump does on rank 0.
+	dumps := make([]metrics.Dump, 3)
+	for r := range dumps {
+		dumps[r] = metrics.Dump{Rank: r, SentBytes: int64(1000 * (r + 1)), StoredBytes: 4096}
+		dumps[r].Phases.Put = time.Duration(r+1) * 10 * time.Millisecond
+		dumps[r].Phases.Total = time.Duration(r+1) * 12 * time.Millisecond
+		dumps[r].BarrierExit = time.Unix(1700000000, int64(r)*1000)
+	}
+	cd, err := telemetry.Aggregate(dumps, telemetry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveCluster.Store(cd)
+
+	code, body := get("/cluster")
+	if code != http.StatusOK {
+		t.Fatalf("/cluster: status %d\n%s", code, body)
+	}
+	var got telemetry.ClusterDump
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("/cluster JSON: %v\n%s", err, body)
+	}
+	if got.Ranks != 3 || got.TotalSentBytes != 6000 {
+		t.Errorf("/cluster served Ranks=%d TotalSentBytes=%d, want 3/6000", got.Ranks, got.TotalSentBytes)
+	}
+
+	code, body = get("/cluster/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/cluster/metrics: status %d\n%s", code, body)
+	}
+	if err := metrics.CheckExposition(bytes.NewReader(body)); err != nil {
+		t.Errorf("/cluster/metrics exposition: %v\n%s", err, body)
+	}
+	if !strings.Contains(string(body), "dedupcr_cluster_ranks 3") {
+		t.Errorf("/cluster/metrics missing rank count:\n%s", body)
 	}
 }
 

@@ -49,7 +49,13 @@ func Barrier(c Comm) error {
 		}
 		rounds++
 	}
-	recordColl(c, rounds, start)
+	if sc, ok := c.(collRecorder); ok {
+		sc.countColl(rounds, time.Since(start))
+		// Stamp the exit in wall time: barrier exits are near-simultaneous
+		// across ranks, which makes these stamps the clock-offset probes
+		// of the cluster telemetry plane.
+		sc.noteBarrierExit(time.Now())
+	}
 	return nil
 }
 

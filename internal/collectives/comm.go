@@ -86,6 +86,13 @@ type Stats struct {
 	// per-round timing of the paper's HMERGE tree. A rank that leaves
 	// the tree early reports only the rounds it ran.
 	ReduceRounds []time.Duration
+	// LastBarrierExit is the wall-clock instant this rank left its most
+	// recent Barrier. Barriers are the tightest synchronization points
+	// the runtime has — every rank exits within one dissemination sweep —
+	// so the cluster telemetry plane compares these stamps across ranks
+	// to estimate inter-node clock offsets. Zero before the first
+	// barrier.
+	LastBarrierExit time.Time
 	// Peers breaks traffic down by peer rank (index = rank). Self
 	// traffic stays uncounted, like the totals. Receives of wildcard
 	// (window) traffic are attributed where the transport knows the
@@ -116,6 +123,10 @@ type statsCounter struct {
 	collNanos  atomic.Int64
 
 	peers []peerCounter
+
+	// barrierExit is the unix-nano wall stamp of the latest Barrier exit
+	// (0 = none yet).
+	barrierExit atomic.Int64
 
 	reduceMu     sync.Mutex
 	reduceRounds []time.Duration
@@ -159,6 +170,11 @@ func (s *statsCounter) countColl(rounds int, d time.Duration) {
 	s.collNanos.Add(d.Nanoseconds())
 }
 
+// noteBarrierExit stamps the completion of one Barrier.
+func (s *statsCounter) noteBarrierExit(t time.Time) {
+	s.barrierExit.Store(t.UnixNano())
+}
+
 // setReduceRounds replaces the per-round timing record of the most recent
 // reduction.
 func (s *statsCounter) setReduceRounds(rounds []time.Duration) {
@@ -176,6 +192,9 @@ func (s *statsCounter) snapshot() Stats {
 		CollOps:    s.collOps.Load(),
 		CollRounds: s.collRounds.Load(),
 		CollTime:   time.Duration(s.collNanos.Load()),
+	}
+	if ns := s.barrierExit.Load(); ns != 0 {
+		st.LastBarrierExit = time.Unix(0, ns)
 	}
 	s.reduceMu.Lock()
 	st.ReduceRounds = append([]time.Duration(nil), s.reduceRounds...)
@@ -201,6 +220,7 @@ func (s *statsCounter) snapshot() Stats {
 type collRecorder interface {
 	countColl(rounds int, d time.Duration)
 	setReduceRounds(rounds []time.Duration)
+	noteBarrierExit(t time.Time)
 }
 
 // checkPeer validates a peer rank.

@@ -294,6 +294,13 @@ func DumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options) 
 	if err != nil {
 		return nil, fmt.Errorf("rank %d final barrier: %w", me, err)
 	}
+	// The completion barrier's exit stamp doubles as this rank's wall-clock
+	// anchor for cross-rank clock-offset estimation (telemetry plane).
+	if st := c.Stats(); !st.LastBarrierExit.IsZero() {
+		m.BarrierExit = st.LastBarrierExit
+	} else {
+		m.BarrierExit = time.Now()
+	}
 	m.Phases.Total = time.Since(dumpStart)
 	return &Result{Metrics: m, Plan: plan, Global: global}, nil
 }

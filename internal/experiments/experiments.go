@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"dedupcr/internal/telemetry"
 	"dedupcr/internal/trace"
 )
 
@@ -88,6 +89,12 @@ type Config struct {
 	// but scenarios are cached per setting so timing experiments can
 	// compare them.
 	Parallelism int
+	// OnCluster, when set, receives the ClusterDump and the per-rank
+	// trace slices of every scenario an experiment aggregates through
+	// the telemetry plane (currently the imbalance experiment; one call
+	// per scenario, labelled "<experiment>/<approach>"). dumpbench uses
+	// it to export cluster JSON and merged cross-rank traces.
+	OnCluster func(label string, cd *telemetry.ClusterDump, ranks []telemetry.RankTrace)
 }
 
 // Experiment regenerates one paper artifact.
@@ -111,6 +118,7 @@ var Registry = []Experiment{
 	{"fig5c", "CM1: impact of rank shuffling (Figure 5c)", Fig5c},
 	// Beyond the paper: observability and ablations of the design choices.
 	{"phases", "Per-phase timing breakdown of the dump pipeline (observability)", PhasesBreakdown},
+	{"imbalance", "Cluster telemetry: cross-rank load imbalance, phase spread, stragglers (observability)", Imbalance},
 	{"parallel", "Ablation: hot-path parallelism, serial vs GOMAXPROCS workers (beyond paper)", AblationParallel},
 	{"ablation-shuffle", "Ablation: partner-selection strategies (beyond paper)", AblationShuffle},
 	{"ablation-restore", "Ablation: restore cost vs node failures (beyond paper)", AblationRestore},

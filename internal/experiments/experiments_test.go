@@ -8,6 +8,7 @@ import (
 
 	"dedupcr/internal/core"
 	"dedupcr/internal/metrics"
+	"dedupcr/internal/telemetry"
 	"dedupcr/internal/trace"
 )
 
@@ -15,7 +16,7 @@ func quickCfg() Config { return Config{Quick: true} }
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig3a", "fig3b", "fig3c", "table1", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "fig5c",
-		"phases", "parallel", "ablation-shuffle", "ablation-restore", "ablation-hybrid", "ablation-pfs"}
+		"phases", "imbalance", "parallel", "ablation-shuffle", "ablation-restore", "ablation-hybrid", "ablation-pfs"}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {
 			t.Errorf("experiment %q missing from registry", id)
@@ -302,6 +303,46 @@ func TestAblationParallel(t *testing.T) {
 	}
 	if !confirmed {
 		t.Error("ablation did not confirm byte-identical outputs")
+	}
+}
+
+func TestImbalanceExperiment(t *testing.T) {
+	cfg := quickCfg()
+	var labels []string
+	var clusters []*telemetry.ClusterDump
+	var rankSets [][]telemetry.RankTrace
+	cfg.OnCluster = func(label string, cd *telemetry.ClusterDump, ranks []telemetry.RankTrace) {
+		labels = append(labels, label)
+		clusters = append(clusters, cd)
+		rankSets = append(rankSets, ranks)
+	}
+	tab, err := Imbalance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("got %d rows, want one per approach", len(tab.Rows))
+	}
+	if len(labels) != 3 || labels[2] != "imbalance/coll-dedup" {
+		t.Fatalf("OnCluster labels = %v", labels)
+	}
+	for i, cd := range clusters {
+		if cd == nil || cd.Ranks != 8 {
+			t.Fatalf("%s: cluster dump %+v", labels[i], cd)
+		}
+		if len(rankSets[i]) != cd.Ranks {
+			t.Errorf("%s: %d rank traces for %d ranks", labels[i], len(rankSets[i]), cd.Ranks)
+		}
+		for r, rt := range rankSets[i] {
+			if len(rt.Events) == 0 {
+				t.Errorf("%s: rank %d trace slice empty", labels[i], r)
+			}
+		}
+	}
+	// The baselines replicate everything uniformly; their send load must
+	// be perfectly balanced while coll-dedup's designation may skew.
+	if tab.Rows[0][2] != "1.000" {
+		t.Errorf("no-dedup send imbalance %q, want 1.000", tab.Rows[0][2])
 	}
 }
 

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"encoding/binary"
+	"fmt"
 	"math"
 	"math/bits"
 	"sort"
@@ -148,6 +150,88 @@ func (h *Histogram) Quantile(q float64) int64 {
 		}
 	}
 	return h.max.Load()
+}
+
+// CountLE returns how many recorded samples are known to be <= v: the
+// cumulative count of every bucket whose upper bound is at most v.
+// Samples sharing the bucket that contains v are not counted, so the
+// result may undercount by up to one bucket width (~6% of v) — the same
+// resolution bound Quantile carries, in the opposite direction. The
+// counts are monotone in v, which is what the Prometheus histogram
+// exposition requires of its cumulative buckets.
+func (h *Histogram) CountLE(v int64) int64 {
+	if h == nil || v < 0 {
+		return 0
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		if bucketUpper(i) > v {
+			break
+		}
+		cum += h.counts[i].Load()
+	}
+	return cum
+}
+
+// Histogram wire format (all integers big endian):
+//
+//	u8 version=1 | i64 count | i64 sum | i64 max | u32 nNonZero
+//	nNonZero × (u32 bucketIndex, i64 bucketCount)
+//
+// Only non-zero buckets travel: put-latency histograms of one dump touch
+// a handful of octaves out of the ~976 fixed buckets.
+const histWireVersion = 1
+
+// MarshalBinary encodes the histogram for transmission between ranks
+// (the telemetry gather). Safe to call concurrently with Record; the
+// snapshot is per-bucket atomic, not globally consistent.
+func (h *Histogram) MarshalBinary() ([]byte, error) {
+	buf := []byte{histWireVersion}
+	buf = binary.BigEndian.AppendUint64(buf, uint64(h.Count()))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(h.Sum()))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(h.Max()))
+	var idx []int
+	if h != nil {
+		for i := 0; i < histBuckets; i++ {
+			if h.counts[i].Load() != 0 {
+				idx = append(idx, i)
+			}
+		}
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(idx)))
+	for _, i := range idx {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(i))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(h.counts[i].Load()))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a histogram encoded by MarshalBinary,
+// replacing h's contents.
+func (h *Histogram) UnmarshalBinary(data []byte) error {
+	if len(data) < 29 {
+		return fmt.Errorf("metrics: histogram header truncated (%d bytes)", len(data))
+	}
+	if data[0] != histWireVersion {
+		return fmt.Errorf("metrics: histogram wire version %d, want %d", data[0], histWireVersion)
+	}
+	*h = Histogram{}
+	h.count.Store(int64(binary.BigEndian.Uint64(data[1:])))
+	h.sum.Store(int64(binary.BigEndian.Uint64(data[9:])))
+	h.max.Store(int64(binary.BigEndian.Uint64(data[17:])))
+	n := int(binary.BigEndian.Uint32(data[25:]))
+	data = data[29:]
+	if len(data) != 12*n {
+		return fmt.Errorf("metrics: histogram wants %d bucket bytes, has %d", 12*n, len(data))
+	}
+	for j := 0; j < n; j++ {
+		i := int(binary.BigEndian.Uint32(data[12*j:]))
+		if i < 0 || i >= histBuckets {
+			return fmt.Errorf("metrics: histogram bucket index %d out of range", i)
+		}
+		h.counts[i].Store(int64(binary.BigEndian.Uint64(data[12*j+4:])))
+	}
+	return nil
 }
 
 // Merge folds other's samples into h. Max merges exactly; buckets add.

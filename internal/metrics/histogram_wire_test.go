@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramWireRoundTrip checks that a marshalled histogram decodes
+// to an identical distribution: count, sum, max, quantiles and the
+// cumulative bucket counts the exposition relies on.
+func TestHistogramWireRoundTrip(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(0); i < 1000; i++ {
+		h.Record(i * i * 37)
+	}
+	h.Record(math.MaxInt64 / 2)
+
+	blob, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Histogram
+	if err := got.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != h.Count() || got.Sum() != h.Sum() || got.Max() != h.Max() {
+		t.Fatalf("count/sum/max mismatch: got %d/%d/%d want %d/%d/%d",
+			got.Count(), got.Sum(), got.Max(), h.Count(), h.Sum(), h.Max())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if got.Quantile(q) != h.Quantile(q) {
+			t.Errorf("q=%g: got %d want %d", q, got.Quantile(q), h.Quantile(q))
+		}
+	}
+	for _, v := range []int64{0, 100, 10_000, 1 << 30, math.MaxInt64} {
+		if got.CountLE(v) != h.CountLE(v) {
+			t.Errorf("CountLE(%d): got %d want %d", v, got.CountLE(v), h.CountLE(v))
+		}
+	}
+}
+
+// TestHistogramWireRejects exercises the decoder's validation.
+func TestHistogramWireRejects(t *testing.T) {
+	var h Histogram
+	if err := h.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated header accepted")
+	}
+	blob, _ := NewHistogram().MarshalBinary()
+	blob[0] = 99
+	if err := h.UnmarshalBinary(blob); err == nil {
+		t.Error("wrong version accepted")
+	}
+	good, _ := NewHistogram().MarshalBinary()
+	if err := h.UnmarshalBinary(append(good, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+// TestCountLE pins the cumulative-count semantics: monotone in v, never
+// counting past the total, and exact at bucket boundaries.
+func TestCountLE(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{1, 2, 3, 1000, 2000, 1 << 40} {
+		h.Record(v)
+	}
+	if got := h.CountLE(-1); got != 0 {
+		t.Errorf("CountLE(-1) = %d", got)
+	}
+	// Values below histSub are exact buckets: CountLE(3) counts 1,2,3.
+	if got := h.CountLE(3); got != 3 {
+		t.Errorf("CountLE(3) = %d, want 3", got)
+	}
+	var prev int64
+	for v := int64(1); v < 1<<45; v *= 4 {
+		c := h.CountLE(v)
+		if c < prev {
+			t.Fatalf("CountLE not monotone at %d: %d < %d", v, c, prev)
+		}
+		prev = c
+	}
+	if got := h.CountLE(math.MaxInt64); got != h.Count() {
+		t.Errorf("CountLE(max) = %d, want %d", got, h.Count())
+	}
+	var nilH *Histogram
+	if got := nilH.CountLE(10); got != 0 {
+		t.Errorf("nil CountLE = %d", got)
+	}
+}

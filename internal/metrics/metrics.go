@@ -6,6 +6,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Dump is the instrumentation of one rank for one collective dump. Byte
@@ -54,6 +55,13 @@ type Dump struct {
 	// Phases is the measured wall-clock decomposition of the dump on
 	// this rank, one duration per pipeline phase.
 	Phases Phases
+	// BarrierExit is the wall-clock instant this rank left the dump's
+	// completion barrier. All ranks leave the barrier within one
+	// dissemination sweep of each other, so the spread of these stamps
+	// across ranks estimates inter-node clock offsets (the anchor the
+	// cluster telemetry plane aligns merged traces with). Zero when the
+	// transport did not record it.
+	BarrierExit time.Time
 	// PutLatency is the per-chunk window-put latency histogram
 	// (nanoseconds); nil when the dump recorded no puts.
 	PutLatency *Histogram

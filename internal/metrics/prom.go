@@ -5,11 +5,68 @@ import (
 	"io"
 )
 
+// PromOptions tunes the exposition output.
+type PromOptions struct {
+	// LegacyPutSummary emits dedupcr_put_latency_seconds as the
+	// quantile summary of PR 1 instead of the bucketed histogram.
+	// Summaries cannot be aggregated across ranks (quantiles of
+	// quantiles are meaningless), which is why the histogram is now the
+	// default; the flag keeps old dashboards alive.
+	LegacyPutSummary bool
+}
+
+// LatencyBuckets is the explicit `le` ladder (in seconds) of every
+// latency histogram family this package exposes: a 1-2.5-5 decade scan
+// from 1µs to 10s. Fixed, identical buckets on every rank are what make
+// cross-rank aggregation (sum of _bucket series) well-defined.
+var LatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1,
+	1, 2.5, 5, 10,
+}
+
+// WriteLatencyHistogram emits one nanosecond-sample histogram as a
+// Prometheus histogram family in seconds, with the LatencyBuckets
+// ladder. labels is the shared label set of every sample ("" for none).
+// Bucket counts come from Histogram.CountLE, so they are monotone by
+// construction; +Inf always equals the total count.
+func WriteLatencyHistogram(w io.Writer, name, help, labels string, h *Histogram) {
+	if h.Count() == 0 {
+		return
+	}
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, le := range LatencyBuckets {
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, le, h.CountLE(int64(le*1e9)))
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.Count())
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %.9f\n", name, float64(h.Sum())/1e9)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %.9f\n", name, labels, float64(h.Sum())/1e9)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.Count())
+	}
+}
+
 // WritePrometheus emits the dump's counters and phase timings in the
 // Prometheus plain-text exposition format, labelled with the rank — the
 // counter dump replicad prints on exit so a scrape-less deployment still
-// leaves machine-readable numbers behind.
+// leaves machine-readable numbers behind. Equivalent to
+// WritePrometheusOpts with the zero options.
 func (d Dump) WritePrometheus(w io.Writer) {
+	d.WritePrometheusOpts(w, PromOptions{})
+}
+
+// WritePrometheusOpts is WritePrometheus with explicit options.
+func (d Dump) WritePrometheusOpts(w io.Writer, o PromOptions) {
 	rank := fmt.Sprintf(`rank="%d"`, d.Rank)
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s{%s} %d\n", name, help, name, name, rank, v)
@@ -37,14 +94,27 @@ func (d Dump) WritePrometheus(w io.Writer) {
 	}
 	fmt.Fprintf(w, "dedupcr_phase_seconds{%s,phase=\"total\"} %.9f\n", rank, d.Phases.Total.Seconds())
 
-	if d.PutLatency.Count() > 0 {
-		fmt.Fprintf(w, "# HELP dedupcr_put_latency_seconds Per-chunk window put latency.\n")
-		fmt.Fprintf(w, "# TYPE dedupcr_put_latency_seconds summary\n")
-		for _, q := range []float64{0.5, 0.95, 0.99} {
-			fmt.Fprintf(w, "dedupcr_put_latency_seconds{%s,quantile=\"%g\"} %.9f\n",
-				rank, q, float64(d.PutLatency.Quantile(q))/1e9)
+	if len(d.Phases.ReductionRoundTimes) > 0 {
+		fmt.Fprintf(w, "# HELP dedupcr_reduction_round_seconds Duration of one level of the HMERGE reduction tree on this rank.\n")
+		fmt.Fprintf(w, "# TYPE dedupcr_reduction_round_seconds gauge\n")
+		for i, rt := range d.Phases.ReductionRoundTimes {
+			fmt.Fprintf(w, "dedupcr_reduction_round_seconds{%s,round=\"%d\"} %.9f\n", rank, i, rt.Seconds())
 		}
-		fmt.Fprintf(w, "dedupcr_put_latency_seconds_sum{%s} %.9f\n", rank, float64(d.PutLatency.Sum())/1e9)
-		fmt.Fprintf(w, "dedupcr_put_latency_seconds_count{%s} %d\n", rank, d.PutLatency.Count())
+	}
+
+	if d.PutLatency.Count() > 0 {
+		if o.LegacyPutSummary {
+			fmt.Fprintf(w, "# HELP dedupcr_put_latency_seconds Per-chunk window put latency.\n")
+			fmt.Fprintf(w, "# TYPE dedupcr_put_latency_seconds summary\n")
+			for _, q := range []float64{0.5, 0.95, 0.99} {
+				fmt.Fprintf(w, "dedupcr_put_latency_seconds{%s,quantile=\"%g\"} %.9f\n",
+					rank, q, float64(d.PutLatency.Quantile(q))/1e9)
+			}
+			fmt.Fprintf(w, "dedupcr_put_latency_seconds_sum{%s} %.9f\n", rank, float64(d.PutLatency.Sum())/1e9)
+			fmt.Fprintf(w, "dedupcr_put_latency_seconds_count{%s} %d\n", rank, d.PutLatency.Count())
+		} else {
+			WriteLatencyHistogram(w, "dedupcr_put_latency_seconds",
+				"Per-chunk window put latency.", rank, d.PutLatency)
+		}
 	}
 }

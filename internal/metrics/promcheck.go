@@ -1,0 +1,328 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition is a strict validator of the Prometheus plain-text
+// exposition format, used by CI to catch malformed families before a
+// scraper does. It enforces more than a scraper strictly needs:
+//
+//   - every sample's family carries both # HELP and # TYPE, declared
+//     before the first sample, each at most once;
+//   - metric and label names are well-formed and label values use only
+//     the \\, \" and \n escapes;
+//   - values parse as Go floats (+Inf/-Inf/NaN allowed), counters are
+//     non-negative and finite-or-+Inf;
+//   - histogram families expose _bucket series with `le` labels in
+//     increasing order, cumulative counts monotone nondecreasing, an
+//     +Inf bucket present and equal to the family's _count;
+//   - summary quantile labels parse into [0, 1];
+//   - no sample (name + label set) appears twice.
+//
+// It returns the first violation found, or nil for a clean exposition.
+func CheckExposition(r io.Reader) error {
+	types := make(map[string]string)
+	helps := make(map[string]bool)
+	seen := make(map[string]bool) // full sample identity -> emitted
+	type bucketSeries struct {
+		les    []float64
+		counts []float64
+		inf    float64
+		hasInf bool
+	}
+	buckets := make(map[string]*bucketSeries) // family + labels-minus-le
+	counts := make(map[string]float64)        // histogram _count per label set
+	hasCount := make(map[string]bool)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("exposition line %d: %s: %q", lineNo, fmt.Sprintf(format, args...), line)
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 2 {
+				continue // free-form comment
+			}
+			switch fields[1] {
+			case "HELP":
+				if len(fields) < 3 || !validMetricName(fields[2]) {
+					return fail("malformed HELP")
+				}
+				if helps[fields[2]] {
+					return fail("duplicate HELP for %s", fields[2])
+				}
+				helps[fields[2]] = true
+			case "TYPE":
+				if len(fields) != 4 || !validMetricName(fields[2]) {
+					return fail("malformed TYPE")
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fail("unknown metric type %q", fields[3])
+				}
+				if _, dup := types[fields[2]]; dup {
+					return fail("duplicate TYPE for %s", fields[2])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fail("%v", err)
+		}
+		family, suffix := name, ""
+		if _, ok := types[name]; !ok {
+			for _, s := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, s)
+				if base != name {
+					if _, ok := types[base]; ok {
+						family, suffix = base, s
+						break
+					}
+				}
+			}
+		}
+		typ, ok := types[family]
+		if !ok {
+			return fail("sample for family with no # TYPE")
+		}
+		if !helps[family] {
+			return fail("sample for family with no # HELP")
+		}
+		switch {
+		case suffix == "_bucket" && typ != "histogram":
+			return fail("_bucket sample on %s family", typ)
+		case suffix == "_sum" || suffix == "_count":
+			if typ != "histogram" && typ != "summary" {
+				return fail("%s sample on %s family", suffix, typ)
+			}
+		case suffix == "" && typ == "histogram":
+			return fail("histogram family exposes a bare sample (want _bucket/_sum/_count)")
+		}
+		if typ == "counter" && (value < 0 || math.IsNaN(value)) {
+			return fail("counter value %g not a non-negative number", value)
+		}
+		if q, ok := labels["quantile"]; ok && typ == "summary" && suffix == "" {
+			f, err := strconv.ParseFloat(q, 64)
+			if err != nil || f < 0 || f > 1 {
+				return fail("summary quantile %q outside [0,1]", q)
+			}
+		}
+
+		id := name + "{" + canonicalLabels(labels, "") + "}"
+		if seen[id] {
+			return fail("duplicate sample %s", id)
+		}
+		seen[id] = true
+
+		if typ == "histogram" {
+			key := family + "{" + canonicalLabels(labels, "le") + "}"
+			switch suffix {
+			case "_bucket":
+				le, ok := labels["le"]
+				if !ok {
+					return fail("histogram bucket without le label")
+				}
+				bs := buckets[key]
+				if bs == nil {
+					bs = &bucketSeries{}
+					buckets[key] = bs
+				}
+				if le == "+Inf" {
+					if bs.hasInf {
+						return fail("duplicate +Inf bucket")
+					}
+					bs.hasInf, bs.inf = true, value
+					break
+				}
+				bound, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fail("unparseable le %q", le)
+				}
+				if bs.hasInf {
+					return fail("bucket le=%q after the +Inf bucket", le)
+				}
+				if n := len(bs.les); n > 0 && bound <= bs.les[n-1] {
+					return fail("bucket bounds not increasing (le=%q)", le)
+				}
+				if n := len(bs.counts); n > 0 && value < bs.counts[n-1] {
+					return fail("bucket counts not monotone (le=%q)", le)
+				}
+				bs.les = append(bs.les, bound)
+				bs.counts = append(bs.counts, value)
+			case "_count":
+				counts[key] = value
+				hasCount[key] = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key, bs := range buckets {
+		if !bs.hasInf {
+			return fmt.Errorf("exposition: histogram series %s has no +Inf bucket", key)
+		}
+		if n := len(bs.counts); n > 0 && bs.inf < bs.counts[n-1] {
+			return fmt.Errorf("exposition: histogram series %s +Inf bucket below last bucket", key)
+		}
+		if hasCount[key] && bs.inf != counts[key] {
+			return fmt.Errorf("exposition: histogram series %s +Inf bucket %g != _count %g", key, bs.inf, counts[key])
+		}
+	}
+	return nil
+}
+
+// parseSample splits one sample line into name, labels and value. The
+// optional trailing timestamp is accepted and ignored.
+func parseSample(line string) (string, map[string]string, float64, error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("no value")
+	}
+	name := rest[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	labels := map[string]string{}
+	if rest[i] == '{' {
+		rest = rest[i+1:]
+		for {
+			rest = strings.TrimLeft(rest, " ")
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("label without '='")
+			}
+			key := strings.TrimSpace(rest[:eq])
+			if !validLabelName(key) {
+				return "", nil, 0, fmt.Errorf("invalid label name %q", key)
+			}
+			rest = rest[eq+1:]
+			if !strings.HasPrefix(rest, `"`) {
+				return "", nil, 0, fmt.Errorf("label value of %q not quoted", key)
+			}
+			val, remainder, err := parseQuoted(rest)
+			if err != nil {
+				return "", nil, 0, fmt.Errorf("label %q: %w", key, err)
+			}
+			if _, dup := labels[key]; dup {
+				return "", nil, 0, fmt.Errorf("duplicate label %q", key)
+			}
+			labels[key] = val
+			rest = strings.TrimLeft(remainder, " ")
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+			}
+		}
+	} else {
+		rest = rest[i:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("want value [timestamp], got %q", rest)
+	}
+	value, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparseable value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("unparseable timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parseQuoted consumes a quoted label value from the front of s,
+// enforcing the exposition format's escapes (\\, \", \n only).
+func parseQuoted(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case '\\', '"':
+				b.WriteByte(s[i])
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("invalid escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+// canonicalLabels renders a label set sorted by key, dropping `skip`,
+// so series identity is independent of emission order.
+func canonicalLabels(labels map[string]string, skip string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != skip {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, labels[k])
+	}
+	return strings.Join(parts, ",")
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}

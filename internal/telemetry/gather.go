@@ -1,0 +1,40 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"dedupcr/internal/collectives"
+	"dedupcr/internal/metrics"
+)
+
+// GatherCluster collects every rank's dump metrics at rank 0 over the
+// group's own communicator and reduces them into a ClusterDump. It is a
+// collective call: every rank must enter it with its own dump (SPMD,
+// like the dump itself), and only rank 0 receives a non-nil result. The
+// gather rides the same transport as the dump — no out-of-band
+// monitoring channel, matching the paper's in-band measurement setup.
+func GatherCluster(c collectives.Comm, d metrics.Dump, opts Options) (*ClusterDump, error) {
+	enc, err := EncodeDump(d)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: rank %d encode: %w", c.Rank(), err)
+	}
+	raw, err := collectives.Gather(c, 0, enc)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: rank %d gather: %w", c.Rank(), err)
+	}
+	if c.Rank() != 0 {
+		return nil, nil
+	}
+	dumps := make([]metrics.Dump, len(raw))
+	for r, b := range raw {
+		dd, err := DecodeDump(b)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: decode rank %d: %w", r, err)
+		}
+		if dd.Rank != r {
+			return nil, fmt.Errorf("telemetry: gather slot %d carries rank %d", r, dd.Rank)
+		}
+		dumps[r] = dd
+	}
+	return Aggregate(dumps, opts)
+}

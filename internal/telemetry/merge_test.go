@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"dedupcr/internal/trace"
+)
+
+// rankEvents fabricates one rank's dump timeline on a clock skewed by
+// skew: a put span, the completion barrier and an enclosing dump span.
+func rankEvents(rank int, skew time.Duration) []trace.Event {
+	ms := func(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+	return []trace.Event{
+		{Name: "dump", Pid: 1, Tid: rank, Start: skew, Dur: ms(100)},
+		{Name: "put", Pid: 1, Tid: rank, Start: skew + ms(10), Dur: ms(50)},
+		{Name: "barrier", Pid: 1, Tid: rank, Start: skew + ms(90), Dur: ms(10)},
+	}
+}
+
+func TestAlignShiftsBarriersTogether(t *testing.T) {
+	ranks := []RankTrace{
+		{Rank: 0, Events: rankEvents(0, 0)},
+		{Rank: 1, Events: rankEvents(1, 7*time.Millisecond)},
+		{Rank: 2, Events: rankEvents(2, 3*time.Millisecond)},
+	}
+	aligned, offsets := Align(ranks)
+	if offsets[1] != 0 {
+		t.Errorf("latest rank shifted by %v, want 0", offsets[1])
+	}
+	if offsets[0] != 7*time.Millisecond || offsets[2] != 4*time.Millisecond {
+		t.Errorf("offsets = %v", offsets)
+	}
+	var ends []time.Duration
+	for _, rt := range aligned {
+		end, ok := anchor(rt.Events)
+		if !ok {
+			t.Fatalf("rank %d lost its events", rt.Rank)
+		}
+		ends = append(ends, end)
+	}
+	for i := 1; i < len(ends); i++ {
+		if ends[i] != ends[0] {
+			t.Fatalf("aligned barrier ends diverge: %v", ends)
+		}
+	}
+	// Pid rewritten to the rank; relative structure preserved.
+	for _, rt := range aligned {
+		for _, e := range rt.Events {
+			if e.Pid != rt.Rank {
+				t.Errorf("rank %d event kept pid %d", rt.Rank, e.Pid)
+			}
+		}
+		if d := rt.Events[1].Start - rt.Events[0].Start; d != 10*time.Millisecond {
+			t.Errorf("rank %d intra-rank spacing changed: %v", rt.Rank, d)
+		}
+	}
+	// Input untouched.
+	if ranks[0].Events[0].Pid != 1 || ranks[0].Events[0].Start != 0 {
+		t.Error("Align modified its input")
+	}
+}
+
+func TestAlignFallsBackWithoutBarrier(t *testing.T) {
+	ranks := []RankTrace{
+		{Rank: 0, Events: []trace.Event{{Name: "put", Tid: 0, Start: 0, Dur: time.Millisecond}}},
+		{Rank: 1, Events: []trace.Event{{Name: "put", Tid: 1, Start: 0, Dur: 5 * time.Millisecond}}},
+		{Rank: 2}, // no events at all
+	}
+	aligned, offsets := Align(ranks)
+	if offsets[0] != 4*time.Millisecond || offsets[1] != 0 || offsets[2] != 0 {
+		t.Errorf("fallback offsets = %v", offsets)
+	}
+	if len(aligned[2].Events) != 0 {
+		t.Errorf("empty rank grew events: %+v", aligned[2].Events)
+	}
+}
+
+// chromeDoc mirrors the trace-event JSON for assertions.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		Ts   float64           `json:"ts"`
+		Dur  float64           `json:"dur"`
+		Pid  int               `json:"pid"`
+		Tid  int               `json:"tid"`
+		Args map[string]string `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestMergeTracesOnePidPerRankWithStragglerMarkers(t *testing.T) {
+	ranks := []RankTrace{
+		{Rank: 0, Events: rankEvents(0, 0)},
+		{Rank: 1, Events: rankEvents(1, 5*time.Millisecond)},
+	}
+	cd := &ClusterDump{
+		Ranks: 2,
+		Stragglers: []Straggler{
+			{Rank: 1, Phase: "put", Duration: 50 * time.Millisecond, Median: 20 * time.Millisecond},
+		},
+	}
+	var buf bytes.Buffer
+	if err := MergeTraces(&buf, ranks, cd); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+
+	pids := make(map[int]bool)
+	names := make(map[int]string)
+	var stragglerMarks int
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			if e.Name == "process_name" {
+				names[e.Pid] = e.Args["name"]
+			}
+			continue
+		}
+		pids[e.Pid] = true
+		if e.Name == "straggler put" {
+			stragglerMarks++
+			if e.Ph != "i" || e.Pid != 1 {
+				t.Errorf("straggler marker malformed: %+v", e)
+			}
+			if e.Args["excess"] != "30ms" {
+				t.Errorf("straggler marker args: %v", e.Args)
+			}
+		}
+	}
+	if len(pids) != 2 || !pids[0] || !pids[1] {
+		t.Fatalf("merged trace pids = %v, want exactly {0,1}", pids)
+	}
+	if names[0] != "rank 0" || names[1] != "rank 1" {
+		t.Errorf("process names = %v", names)
+	}
+	if stragglerMarks != 1 {
+		t.Errorf("straggler markers = %d, want 1", stragglerMarks)
+	}
+}
+
+func TestSplitByTid(t *testing.T) {
+	evs := []trace.Event{
+		{Name: "a", Tid: 0, Start: 0, Dur: 1},
+		{Name: "b", Tid: 2, Start: 1, Dur: 1},
+		{Name: "c", Tid: 0, Start: 2, Dur: 1},
+	}
+	ranks := SplitByTid(evs)
+	if len(ranks) != 3 {
+		t.Fatalf("got %d ranks, want 3 (tid 1 empty but present)", len(ranks))
+	}
+	if len(ranks[0].Events) != 2 || len(ranks[1].Events) != 0 || len(ranks[2].Events) != 1 {
+		t.Errorf("split sizes: %d/%d/%d", len(ranks[0].Events), len(ranks[1].Events), len(ranks[2].Events))
+	}
+	if ranks[2].Rank != 2 {
+		t.Errorf("rank field = %d, want 2", ranks[2].Rank)
+	}
+}

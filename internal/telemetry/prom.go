@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePrometheus emits the cluster dump in the Prometheus plain-text
+// exposition format: the dedupcr_cluster_* families replicad's rank 0
+// serves at /cluster/metrics. Unlike the per-rank dedupcr_* families,
+// these are already reduced across the group, so one scrape of rank 0
+// sees the whole cluster.
+func (cd *ClusterDump) WritePrometheus(w io.Writer) {
+	gauge := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+
+	gauge("dedupcr_cluster_ranks", "Number of ranks aggregated into the cluster dump.")
+	fmt.Fprintf(w, "dedupcr_cluster_ranks %d\n", cd.Ranks)
+
+	gauge("dedupcr_cluster_phase_seconds", "Cross-rank spread of one dump pipeline phase (stat: min/median/p95/max/mean).")
+	for _, ps := range cd.Phases {
+		for _, s := range []struct {
+			stat string
+			v    float64
+		}{
+			{"min", ps.Min.Seconds()}, {"median", ps.Median.Seconds()},
+			{"p95", ps.P95.Seconds()}, {"max", ps.Max.Seconds()},
+			{"mean", ps.Mean.Seconds()},
+		} {
+			fmt.Fprintf(w, "dedupcr_cluster_phase_seconds{phase=%q,stat=%q} %.9f\n", ps.Name, s.stat, s.v)
+		}
+	}
+
+	gauge("dedupcr_cluster_phase_slowest_rank", "Rank with the maximum duration of one pipeline phase.")
+	for _, ps := range cd.Phases {
+		fmt.Fprintf(w, "dedupcr_cluster_phase_slowest_rank{phase=%q} %d\n", ps.Name, ps.SlowestRank)
+	}
+
+	gauge("dedupcr_cluster_sent_bytes", "Replication bytes pushed to partners, summed over ranks.")
+	fmt.Fprintf(w, "dedupcr_cluster_sent_bytes %d\n", cd.TotalSentBytes)
+	gauge("dedupcr_cluster_recv_bytes", "Replication bytes received from partners, summed over ranks.")
+	fmt.Fprintf(w, "dedupcr_cluster_recv_bytes %d\n", cd.TotalRecvBytes)
+	gauge("dedupcr_cluster_stored_bytes", "Bytes committed to local stores, summed over ranks.")
+	fmt.Fprintf(w, "dedupcr_cluster_stored_bytes %d\n", cd.TotalStoredBytes)
+
+	gauge("dedupcr_cluster_rank_sent_bytes", "Replication bytes one rank pushed to partners.")
+	for _, rs := range cd.PerRank {
+		fmt.Fprintf(w, "dedupcr_cluster_rank_sent_bytes{rank=\"%d\"} %d\n", rs.Rank, rs.SentBytes)
+	}
+	gauge("dedupcr_cluster_rank_recv_bytes", "Replication bytes one rank received from partners.")
+	for _, rs := range cd.PerRank {
+		fmt.Fprintf(w, "dedupcr_cluster_rank_recv_bytes{rank=\"%d\"} %d\n", rs.Rank, rs.RecvBytes)
+	}
+	gauge("dedupcr_cluster_rank_stored_bytes", "Bytes one rank committed to its local store.")
+	for _, rs := range cd.PerRank {
+		fmt.Fprintf(w, "dedupcr_cluster_rank_stored_bytes{rank=\"%d\"} %d\n", rs.Rank, rs.StoredBytes)
+	}
+	gauge("dedupcr_cluster_rank_total_seconds", "End-to-end dump time of one rank.")
+	for _, rs := range cd.PerRank {
+		fmt.Fprintf(w, "dedupcr_cluster_rank_total_seconds{rank=\"%d\"} %.9f\n", rs.Rank, rs.Total.Seconds())
+	}
+
+	gauge("dedupcr_cluster_designation_imbalance", "Max/mean of per-rank stored bytes (1.0 = balanced designation).")
+	fmt.Fprintf(w, "dedupcr_cluster_designation_imbalance %.6f\n", cd.DesignationImbalance)
+	gauge("dedupcr_cluster_send_imbalance", "Max/mean of per-rank sent bytes (1.0 = balanced sends).")
+	fmt.Fprintf(w, "dedupcr_cluster_send_imbalance %.6f\n", cd.SendImbalance)
+
+	gauge("dedupcr_cluster_clock_offset_seconds", "Estimated lag of one rank's wall clock behind the group's latest barrier-exit stamp.")
+	for _, rs := range cd.PerRank {
+		fmt.Fprintf(w, "dedupcr_cluster_clock_offset_seconds{rank=\"%d\"} %.9f\n", rs.Rank, rs.ClockOffset.Seconds())
+	}
+	gauge("dedupcr_cluster_clock_spread_seconds", "Width of the barrier-exit stamp window: upper bound on pairwise clock-offset error.")
+	fmt.Fprintf(w, "dedupcr_cluster_clock_spread_seconds %.9f\n", cd.ClockSpread.Seconds())
+
+	gauge("dedupcr_cluster_stragglers", "Number of flagged (rank, phase) straggler pairs.")
+	fmt.Fprintf(w, "dedupcr_cluster_stragglers %d\n", len(cd.Stragglers))
+	if len(cd.Stragglers) > 0 {
+		gauge("dedupcr_cluster_straggler_excess_seconds", "How far a flagged rank's phase time overshot the cluster median.")
+		for _, s := range cd.Stragglers {
+			fmt.Fprintf(w, "dedupcr_cluster_straggler_excess_seconds{rank=\"%d\",phase=%q} %.9f\n",
+				s.Rank, s.Phase, s.Excess().Seconds())
+		}
+	}
+}

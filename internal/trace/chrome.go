@@ -28,59 +28,84 @@ type chromeFile struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
-// WriteJSON exports the trace as Chrome trace-event JSON. Open the file
-// at chrome://tracing or https://ui.perfetto.dev. It must only be called
-// once all recorded spans have ended.
-func (t *Trace) WriteJSON(w io.Writer) error {
+// Track identifies one (pid, tid) timeline track for thread naming.
+type Track struct{ Pid, Tid int }
+
+// WriteChrome writes an arbitrary event set as a Chrome trace-event JSON
+// document: metadata events naming the process groups and thread tracks
+// first, then the events in the given order (callers sort; Trace.Events
+// already does). It is the export shared by Trace.WriteJSON and the
+// cluster telemetry plane's merged cross-rank traces, which synthesize
+// their own pid-per-rank layout.
+func WriteChrome(w io.Writer, events []Event, pidNames map[int]string, threadNames map[Track]string) error {
 	doc := chromeFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
 
-	// Metadata: name the process groups and thread tracks.
-	t.mu.Lock()
-	pids := make([]int, 0, len(t.pidNames))
-	for pid := range t.pidNames {
+	pids := make([]int, 0, len(pidNames))
+	for pid := range pidNames {
 		pids = append(pids, pid)
 	}
 	sort.Ints(pids)
 	for _, pid := range pids {
 		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
 			Name: "process_name", Ph: "M", Pid: pid,
-			Args: map[string]string{"name": t.pidNames[pid]},
+			Args: map[string]string{"name": pidNames[pid]},
 		})
 	}
-	type track struct{ pid, tid int }
-	named := make(map[track]bool)
-	var threads []chromeEvent
-	for _, r := range t.recs {
-		k := track{r.pid, r.tid}
-		if r.name == "" || named[k] {
-			continue
-		}
-		named[k] = true
-		threads = append(threads, chromeEvent{
-			Name: "thread_name", Ph: "M", Pid: r.pid, Tid: r.tid,
-			Args: map[string]string{"name": r.name},
-		})
+	tracks := make([]Track, 0, len(threadNames))
+	for tr := range threadNames {
+		tracks = append(tracks, tr)
 	}
-	t.mu.Unlock()
-	sort.Slice(threads, func(i, j int) bool {
-		if threads[i].Pid != threads[j].Pid {
-			return threads[i].Pid < threads[j].Pid
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].Pid != tracks[j].Pid {
+			return tracks[i].Pid < tracks[j].Pid
 		}
-		return threads[i].Tid < threads[j].Tid
+		return tracks[i].Tid < tracks[j].Tid
 	})
-	doc.TraceEvents = append(doc.TraceEvents, threads...)
-
-	for _, e := range t.Events() {
+	for _, tr := range tracks {
 		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
-			Name: e.Name, Cat: "dump", Ph: "X",
+			Name: "thread_name", Ph: "M", Pid: tr.Pid, Tid: tr.Tid,
+			Args: map[string]string{"name": threadNames[tr]},
+		})
+	}
+
+	for _, e := range events {
+		ph, dur := "X", float64(e.Dur.Nanoseconds())/1e3
+		if e.Dur == 0 {
+			ph, dur = "i", 0
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: e.Name, Cat: "dump", Ph: ph,
 			Ts:  float64(e.Start.Nanoseconds()) / 1e3,
-			Dur: float64(e.Dur.Nanoseconds()) / 1e3,
+			Dur: dur,
 			Pid: e.Pid, Tid: e.Tid, Args: e.Args,
 		})
 	}
 
 	enc := json.NewEncoder(w)
 	return enc.Encode(doc)
+}
+
+// WriteJSON exports the trace as Chrome trace-event JSON. Open the file
+// at chrome://tracing or https://ui.perfetto.dev. It must only be called
+// once all recorded spans have ended.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	pidNames := make(map[int]string, len(t.pidNames))
+	for pid, name := range t.pidNames {
+		pidNames[pid] = name
+	}
+	threadNames := make(map[Track]string)
+	for _, r := range t.recs {
+		k := Track{r.pid, r.tid}
+		if r.name == "" {
+			continue
+		}
+		if _, named := threadNames[k]; !named {
+			threadNames[k] = r.name
+		}
+	}
+	t.mu.Unlock()
+	return WriteChrome(w, t.Events(), pidNames, threadNames)
 }
 
 // WriteFile exports the trace to path as Chrome trace-event JSON.

@@ -53,8 +53,10 @@ type Event struct {
 func (e Event) End() time.Duration { return e.Start + e.Dur }
 
 // Trace is one shared timeline: a monotonic origin plus the recorders
-// writing onto it. All methods are safe for concurrent use; WriteJSON and
-// Events must only run after every recorded span has ended.
+// writing onto it. All methods are safe for concurrent use; Events and
+// WriteJSON may run while spans are still being recorded (they snapshot
+// the committed prefix), but only capture everything once every recorded
+// span has ended.
 type Trace struct {
 	start time.Time
 	clock func() time.Duration
@@ -83,10 +85,11 @@ func NewWithClock(clock func() time.Duration) *Trace {
 // name labels the track (the thread name in the viewer). Multiple calls
 // with the same (pid, tid) are allowed; their events land on one track.
 func (t *Trace) Recorder(pid, tid int, name string) *Recorder {
-	r := &Recorder{trace: t, pid: pid, tid: tid, name: name}
+	r := &Recorder{trace: t, pid: pid, tid: tid, name: name, maxBlocks: defaultMaxBlocks}
 	b := new(block)
 	r.head.Store(b)
 	r.tail.Store(b)
+	r.blocks.Store(1)
 	t.mu.Lock()
 	t.recs = append(t.recs, r)
 	if pid >= t.nextPid {
@@ -113,8 +116,12 @@ func (t *Trace) NamePid(pid int, name string) {
 	t.pidNames[pid] = name
 }
 
-// Events returns every completed span of every recorder, sorted by start
-// time. It must not race with in-flight spans.
+// Events returns a snapshot of every completed span of every recorder,
+// sorted by start time. It is safe to call while other goroutines are
+// still recording: appends whose slot write has not committed yet are
+// skipped, so a concurrent snapshot sees a consistent prefix of each
+// recorder's history rather than torn events. For a complete view, call
+// it after all recorded spans have ended.
 func (t *Trace) Events() []Event {
 	t.mu.Lock()
 	recs := append([]*Recorder(nil), t.recs...)
@@ -133,11 +140,29 @@ func (t *Trace) Events() []Event {
 	return out
 }
 
+// Dropped returns how many events the trace's recorders discarded after
+// exhausting their block caps (see Recorder.Dropped). Non-zero drops
+// mean Events, Coverage and every export are computed over an incomplete
+// span set — check this next to Coverage when validating a trace.
+func (t *Trace) Dropped() int64 {
+	t.mu.Lock()
+	recs := append([]*Recorder(nil), t.recs...)
+	t.mu.Unlock()
+	var n int64
+	for _, r := range recs {
+		n += r.Dropped()
+	}
+	return n
+}
+
 // Coverage reports how much of the trace's wall time is covered by at
 // least one span: the union of all span intervals divided by the extent
 // from the first span begin to the last span end. An empty trace covers 1
 // (there is no wall time to attribute). The acceptance bar for dump
-// traces is that spans cover >= 95% of wall time.
+// traces is that spans cover >= 95% of wall time. Coverage only sees
+// recorded spans: when Dropped reports a non-zero count, the cap-evicted
+// events are missing from the union and the figure under-estimates true
+// coverage — report Dropped alongside it.
 func (t *Trace) Coverage() float64 {
 	evs := t.Events()
 	if len(evs) == 0 {
@@ -178,11 +203,21 @@ func (t *Trace) Coverage() float64 {
 // whole collective dump without a second allocation.
 const blockSize = 256
 
+// defaultMaxBlocks bounds one recorder's append list: a runaway span
+// loop stops allocating after blockSize*defaultMaxBlocks events (~1M,
+// roughly 100 MiB) and further events are counted as dropped instead.
+const defaultMaxBlocks = 4096
+
 // block is one fixed-size segment of a recorder's lock-free append list.
+// done marks slots whose Event write has completed: a reservation (n)
+// happens before the slot write, so snapshot readers consult done — an
+// acquire/release pair per slot — to skip in-flight appends instead of
+// racing them.
 type block struct {
 	n    atomic.Int64
 	next atomic.Pointer[block]
 	ev   [blockSize]Event
+	done [blockSize]atomic.Bool
 }
 
 // Recorder writes spans onto one (pid, tid) track of a Trace. The zero
@@ -197,6 +232,11 @@ type Recorder struct {
 
 	head atomic.Pointer[block]
 	tail atomic.Pointer[block]
+	// blocks counts installed blocks; once it reaches maxBlocks further
+	// events are dropped (and counted) rather than allocated.
+	blocks    atomic.Int64
+	dropped   atomic.Int64
+	maxBlocks int64
 }
 
 // Begin opens a span. The returned span must be closed with End on the
@@ -221,24 +261,47 @@ func (r *Recorder) Instant(name string) {
 
 // append pushes a completed event, lock-free: reserve a slot with an
 // atomic add; on overflow install (or adopt) the next block and retry.
+// Once the block cap is reached the event is dropped and counted — a
+// memory backstop for runaway recording, not an expected path.
 func (r *Recorder) append(e Event) {
 	for {
 		b := r.tail.Load()
 		i := b.n.Add(1) - 1
 		if i < blockSize {
 			b.ev[i] = e
+			b.done[i].Store(true)
 			return
 		}
 		// Block full (the cursor may overshoot; length is clamped when
-		// reading). Install a fresh next block if nobody else has.
+		// reading). Install a fresh next block if nobody else has, unless
+		// the cap is exhausted.
 		if b.next.Load() == nil {
-			b.next.CompareAndSwap(nil, new(block))
+			if r.blocks.Load() >= r.maxBlocks {
+				r.dropped.Add(1)
+				return
+			}
+			if b.next.CompareAndSwap(nil, new(block)) {
+				r.blocks.Add(1)
+			}
 		}
-		r.tail.CompareAndSwap(b, b.next.Load())
+		if nb := b.next.Load(); nb != nil {
+			r.tail.CompareAndSwap(b, nb)
+		}
 	}
 }
 
-// events collects the recorder's completed spans in append order.
+// Dropped returns how many events this recorder discarded after hitting
+// its block cap. Zero in any healthy run.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped.Load()
+}
+
+// events collects the recorder's completed spans in append order,
+// skipping slots whose write is still in flight (safe concurrent
+// snapshot; see block.done).
 func (r *Recorder) events() []Event {
 	var out []Event
 	for b := r.head.Load(); b != nil; b = b.next.Load() {
@@ -246,7 +309,11 @@ func (r *Recorder) events() []Event {
 		if n > blockSize {
 			n = blockSize
 		}
-		out = append(out, b.ev[:n]...)
+		for i := int64(0); i < n; i++ {
+			if b.done[i].Load() {
+				out = append(out, b.ev[i])
+			}
+		}
 	}
 	return out
 }

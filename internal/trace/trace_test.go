@@ -205,3 +205,111 @@ func TestNextPid(t *testing.T) {
 		t.Errorf("pid after Recorder(5,...) = %d, want 6", p)
 	}
 }
+
+// TestEventsSnapshotDuringRecording takes Events() snapshots while many
+// goroutines across several recorders are still appending — the race
+// detector validates the per-slot commit protocol, and every snapshot
+// must be a consistent set of fully written events.
+func TestEventsSnapshotDuringRecording(t *testing.T) {
+	tr := New()
+	const recorders, writersPer, each = 4, 4, 500 // crosses block boundaries
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < recorders; r++ {
+		rec := tr.Recorder(0, r, fmt.Sprintf("rank %d", r))
+		for w := 0; w < writersPer; w++ {
+			wg.Add(1)
+			go func(rec *Recorder, w int) {
+				defer wg.Done()
+				for i := 0; i < each; i++ {
+					sp := rec.Begin("phase")
+					sp.Arg("writer", fmt.Sprint(w))
+					sp.End()
+				}
+			}(rec, w)
+		}
+	}
+	var snaps sync.WaitGroup
+	snaps.Add(1)
+	go func() {
+		defer snaps.Done()
+		prev := 0
+		for {
+			evs := tr.Events()
+			for _, e := range evs {
+				// A torn event would surface as a zero Name (Event zero
+				// value) — committed slots are always fully written.
+				if e.Name == "" {
+					t.Error("snapshot returned an uncommitted event")
+					return
+				}
+			}
+			if len(evs) < prev {
+				t.Errorf("snapshot shrank: %d -> %d", prev, len(evs))
+				return
+			}
+			prev = len(evs)
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+	if got, want := len(tr.Events()), recorders*writersPer*each; got != want {
+		t.Fatalf("final snapshot has %d events, want %d", got, want)
+	}
+	if d := tr.Dropped(); d != 0 {
+		t.Errorf("healthy run dropped %d events", d)
+	}
+}
+
+// TestDroppedCounter caps a recorder at two blocks and checks that the
+// overflow is counted, the retained events are intact, and the trace
+// aggregate surfaces the drop.
+func TestDroppedCounter(t *testing.T) {
+	tr := New()
+	rec := tr.Recorder(0, 0, "capped")
+	rec.maxBlocks = 2
+	const total = 3 * blockSize
+	for i := 0; i < total; i++ {
+		rec.Instant("tick")
+	}
+	if got, want := len(tr.Events()), 2*blockSize; got != want {
+		t.Fatalf("retained %d events, want %d", got, want)
+	}
+	if got, want := rec.Dropped(), int64(total-2*blockSize); got != want {
+		t.Errorf("recorder dropped %d, want %d", got, want)
+	}
+	if got := tr.Dropped(); got != rec.Dropped() {
+		t.Errorf("trace dropped %d, recorder %d", got, rec.Dropped())
+	}
+	// Recording past the cap keeps counting without allocating.
+	rec.Instant("late")
+	if got, want := rec.Dropped(), int64(total-2*blockSize+1); got != want {
+		t.Errorf("post-cap drop count %d, want %d", got, want)
+	}
+	var nilRec *Recorder
+	if nilRec.Dropped() != 0 {
+		t.Error("nil recorder reports drops")
+	}
+}
+
+// TestInstantRendersAsInstant pins the Chrome export of zero-duration
+// events to instant ("i") phase records.
+func TestInstantRendersAsInstant(t *testing.T) {
+	clk := &fakeClock{}
+	tr := NewWithClock(clk.read)
+	rec := tr.Recorder(0, 0, "rank 0")
+	rec.Instant("straggler")
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"ph":"i"`) {
+		t.Errorf("instant not exported with ph \"i\": %s", buf.String())
+	}
+}
