@@ -31,6 +31,7 @@ func main() {
 	clusterOut := flag.String("cluster", "", "write the ClusterDump JSON of every telemetry-aggregating scenario to this file (keyed by scenario label)")
 	clusterTrace := flag.String("cluster-trace", "", "write a merged cross-rank Chrome trace (one pid per rank) of the last telemetry-aggregating scenario to this file")
 	parallelism := flag.Int("parallelism", 0, "per-rank worker budget for the dump hot path (0 = GOMAXPROCS, 1 = serial reference)")
+	timeout := flag.Duration("timeout", 0, "abort each collective scenario after this long (0 = no deadline)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dumpbench [-quick] [-v] [-parallelism n] [-trace out.json] [-cluster out.json] [-cluster-trace out.json] <experiment-id>... | all\n")
 		fmt.Fprintf(os.Stderr, "       dumpbench -list\n")
@@ -59,7 +60,7 @@ func main() {
 		ids = args
 	}
 
-	cfg := experiments.Config{Quick: *quick, Verbose: *verbose, Parallelism: *parallelism}
+	cfg := experiments.Config{Quick: *quick, Verbose: *verbose, Parallelism: *parallelism, Timeout: *timeout}
 	if *traceOut != "" {
 		cfg.Trace = trace.New()
 	}

@@ -18,6 +18,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 	"os"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"dedupcr/internal/apps/cm1"
 	"dedupcr/internal/apps/hpccg"
@@ -90,6 +92,10 @@ func run() error {
 	stats := flag.Bool("stats", false, "dump Prometheus-style counters to stderr on exit")
 	legacyPutSummary := flag.Bool("legacy-put-summary", false, "expose put latency as the old quantile summary instead of the bucketed histogram")
 	clusterOut := flag.String("cluster", "", "rank 0: write the gathered ClusterDump JSON of the dump to this file")
+	timeout := flag.Duration("timeout", 0, "abort the collective operation after this long (0 = no deadline); on expiry every rank unblocks with a collective error")
+	retries := flag.Int("retries", 1, "attempts per window put; transient transport failures are retried up to this many times")
+	retryBackoff := flag.Duration("retry-backoff", 50*time.Millisecond, "sleep before the first put retry, doubling per retry")
+	putTimeout := flag.Duration("put-timeout", 0, "deadline per window put attempt (0 = unbounded); timed-out puts count as transient")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: replicad -rank R -hosts FILE [flags] dump|restore [verb flags]\n")
 		flag.PrintDefaults()
@@ -159,19 +165,29 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown approach %q", *approach)
 	}
-	opts := core.Options{K: *k, Approach: ap, ChunkSize: *chunkSize, Name: *name, Trace: rec}
+	opts := core.Options{
+		K: *k, Approach: ap, ChunkSize: *chunkSize, Name: *name, Trace: rec,
+		Retry: core.RetryPolicy{Attempts: *retries, Backoff: *retryBackoff, PutTimeout: *putTimeout},
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	verb := flag.Arg(0)
 	verbArgs := flag.Args()[1:]
 	switch verb {
 	case "dump":
-		err = doDump(comm, store, opts, verbArgs, dumpOutputs{
+		err = doDump(ctx, comm, store, opts, verbArgs, dumpOutputs{
 			stats:      *stats,
 			promOpts:   metrics.PromOptions{LegacyPutSummary: *legacyPutSummary},
 			clusterOut: *clusterOut,
 		})
 	case "restore":
-		err = doRestore(comm, store, *name, verbArgs, rec)
+		err = doRestore(ctx, comm, store, *name, verbArgs, rec)
 	default:
 		return fmt.Errorf("unknown verb %q (want dump or restore)", verb)
 	}
@@ -246,7 +262,7 @@ type dumpOutputs struct {
 	clusterOut string
 }
 
-func doDump(comm collectives.Comm, store storage.Store, opts core.Options, args []string, out dumpOutputs) error {
+func doDump(ctx context.Context, comm collectives.Comm, store storage.Store, opts core.Options, args []string, out dumpOutputs) error {
 	fs := flag.NewFlagSet("dump", flag.ExitOnError)
 	workload := fs.String("workload", "", "generate a workload checkpoint: hpccg | cm1")
 	in := fs.String("in", "", "dump this file instead of a generated workload")
@@ -279,7 +295,7 @@ func doDump(comm collectives.Comm, store storage.Store, opts core.Options, args 
 		return fmt.Errorf("dump needs -workload hpccg|cm1 or -in FILE")
 	}
 
-	res, err := core.DumpOutput(comm, store, buf, opts)
+	res, err := core.DumpOutputCtx(ctx, comm, store, buf, opts)
 	if err != nil {
 		return err
 	}
@@ -294,6 +310,9 @@ func doDump(comm collectives.Comm, store storage.Store, opts core.Options, args 
 		}
 	}
 	fmt.Printf(" total=%s\n", metrics.Duration(m.Phases.Total))
+	if m.PutRetries > 0 {
+		fmt.Printf("rank %d: %d window puts retried after transient faults\n", comm.Rank(), m.PutRetries)
+	}
 	if out.stats {
 		m.WritePrometheusOpts(os.Stderr, out.promOpts)
 	}
@@ -326,13 +345,13 @@ func doDump(comm collectives.Comm, store storage.Store, opts core.Options, args 
 	return nil
 }
 
-func doRestore(comm collectives.Comm, store storage.Store, name string, args []string, rec *trace.Recorder) error {
+func doRestore(ctx context.Context, comm collectives.Comm, store storage.Store, name string, args []string, rec *trace.Recorder) error {
 	fs := flag.NewFlagSet("restore", flag.ExitOnError)
 	out := fs.String("out", "", "write the restored dataset to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	buf, err := core.RestoreWithTrace(comm, store, name, rec)
+	buf, err := core.RestoreCtxWithTrace(ctx, comm, store, name, rec)
 	if err != nil {
 		return err
 	}

@@ -18,6 +18,8 @@
 package dedupcr
 
 import (
+	"context"
+
 	"dedupcr/internal/collectives"
 	"dedupcr/internal/core"
 	"dedupcr/internal/ftrun"
@@ -36,6 +38,12 @@ type (
 
 // Run executes body once per rank on a fresh in-process group.
 func Run(n int, body func(Comm) error) error { return collectives.Run(n, body) }
+
+// RunCtx is Run under a context: cancelling ctx aborts the whole group,
+// unblocking every rank promptly with the cancellation cause.
+func RunCtx(ctx context.Context, n int, body func(context.Context, Comm) error) error {
+	return collectives.RunCtx(ctx, n, body)
+}
 
 // NewGroup creates an in-process group of n ranks.
 func NewGroup(n int) (*Group, error) { return collectives.NewGroup(n) }
@@ -75,7 +83,68 @@ type (
 	Result = core.Result
 	// Topology describes rack placement for rack-aware partner selection.
 	Topology = core.Topology
+	// RetryPolicy bounds retries of transient transport failures during
+	// the window-put exchange (Options.Retry).
+	RetryPolicy = core.RetryPolicy
 )
+
+// Failure model: typed errors, collective abort, fault injection.
+type (
+	// CollectiveError is the typed failure every survivor of an aborted
+	// collective returns: the failed ranks, the pipeline phase, and the
+	// cause. Match with errors.As, or errors.Is against ErrAborted /
+	// ErrRankFailed.
+	CollectiveError = collectives.CollectiveError
+	// Fault is one injected communication failure.
+	Fault = collectives.Fault
+	// FaultKind selects what an injected fault does.
+	FaultKind = collectives.FaultKind
+	// FaultPlan is a deterministic, seeded failure schedule.
+	FaultPlan = collectives.FaultPlan
+)
+
+// The injectable fault kinds.
+const (
+	// FaultKill simulates the crash of a rank at the trigger point.
+	FaultKill = collectives.FaultKill
+	// FaultDrop silently discards matched sends.
+	FaultDrop = collectives.FaultDrop
+	// FaultDelay delays matched operations.
+	FaultDelay = collectives.FaultDelay
+	// FaultError fails matched sends with a transient, retryable error.
+	FaultError = collectives.FaultError
+)
+
+// AnyRank is the wildcard rank for fault filters and window receives.
+const AnyRank = collectives.AnyRank
+
+// Sentinel errors of the failure model.
+var (
+	// ErrRankFailed reports that a peer rank died mid-collective.
+	ErrRankFailed = collectives.ErrRankFailed
+	// ErrAborted reports that the collective was aborted.
+	ErrAborted = collectives.ErrAborted
+	// ErrClosed reports use of a closed communicator.
+	ErrClosed = collectives.ErrClosed
+	// ErrInjected is the root cause of injector-produced failures.
+	ErrInjected = collectives.ErrInjected
+)
+
+// Abort aborts the collective group from this rank with the given cause;
+// every blocked rank unblocks with a *CollectiveError.
+func Abort(c Comm, cause error) { collectives.Abort(c, cause) }
+
+// Kill simulates the crash of this rank: local operations fail from now
+// on and peers detect the death through the transport.
+func Kill(c Comm, cause error) { collectives.Kill(c, cause) }
+
+// InjectFaults wraps a rank's communicator with a deterministic fault
+// plan (kills, drops, delays, transient errors at chosen phases).
+func InjectFaults(c Comm, plan FaultPlan) Comm { return collectives.InjectFaults(c, plan) }
+
+// FailedRanks extracts the failed ranks recorded in err's CollectiveError
+// chain, or nil.
+func FailedRanks(err error) []int { return collectives.FailedRanks(err) }
 
 // The three strategies of the paper's evaluation.
 const (
@@ -92,15 +161,32 @@ const (
 const DefaultF = core.DefaultF
 
 // DumpOutput is the paper's collective write primitive; see
-// internal/core.DumpOutput for the full contract.
+// internal/core.DumpOutput for the full contract. Equivalent to
+// DumpOutputCtx with a background context.
 func DumpOutput(c Comm, store Store, buf []byte, o Options) (*Result, error) {
 	return core.DumpOutput(c, store, buf, o)
 }
 
+// DumpOutputCtx is DumpOutput under a context: cancellation (or a passed
+// deadline) aborts the collective on every rank instead of deadlocking
+// the group on a missing participant. Mid-dump failures surface on every
+// survivor as a *CollectiveError; the local store is left consistent —
+// fully committed or rolled back clean. See internal/core.DumpOutputCtx.
+func DumpOutputCtx(ctx context.Context, c Comm, store Store, buf []byte, o Options) (*Result, error) {
+	return core.DumpOutputCtx(ctx, c, store, buf, o)
+}
+
 // Restore collectively reassembles a dataset dumped under name,
-// tolerating up to K-1 node losses.
+// tolerating up to K-1 node losses. Equivalent to RestoreCtx with a
+// background context.
 func Restore(c Comm, store Store, name string) ([]byte, error) {
 	return core.Restore(c, store, name)
+}
+
+// RestoreCtx is Restore under a context; cancellation aborts the
+// collective restore on every rank.
+func RestoreCtx(ctx context.Context, c Comm, store Store, name string) ([]byte, error) {
+	return core.RestoreCtx(ctx, c, store, name)
 }
 
 // Forget reclaims this node's storage for an old dataset (reference

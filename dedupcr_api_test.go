@@ -2,11 +2,92 @@ package dedupcr_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
+	"slices"
 	"testing"
 
 	"dedupcr"
 )
+
+// Compile-time lock on the public API surface: the legacy
+// background-context entry points and their context-first counterparts
+// must keep these exact signatures. A change here is an API break and
+// should be a conscious decision, not a drive-by.
+var (
+	_ func(int, func(dedupcr.Comm) error) error                                                            = dedupcr.Run
+	_ func(context.Context, int, func(context.Context, dedupcr.Comm) error) error                          = dedupcr.RunCtx
+	_ func(dedupcr.Comm, dedupcr.Store, []byte, dedupcr.Options) (*dedupcr.Result, error)                  = dedupcr.DumpOutput
+	_ func(context.Context, dedupcr.Comm, dedupcr.Store, []byte, dedupcr.Options) (*dedupcr.Result, error) = dedupcr.DumpOutputCtx
+	_ func(dedupcr.Comm, dedupcr.Store, string) ([]byte, error)                                            = dedupcr.Restore
+	_ func(context.Context, dedupcr.Comm, dedupcr.Store, string) ([]byte, error)                           = dedupcr.RestoreCtx
+	_ func(dedupcr.Comm, error)                                                                            = dedupcr.Abort
+	_ func(dedupcr.Comm, error)                                                                            = dedupcr.Kill
+	_ func(dedupcr.Comm, dedupcr.FaultPlan) dedupcr.Comm                                                   = dedupcr.InjectFaults
+	_ func(error) []int                                                                                    = dedupcr.FailedRanks
+
+	_ func(*dedupcr.Runtime) (*dedupcr.Result, error)                  = (*dedupcr.Runtime).Checkpoint
+	_ func(*dedupcr.Runtime, context.Context) (*dedupcr.Result, error) = (*dedupcr.Runtime).CheckpointCtx
+	_ func(*dedupcr.Runtime) (int, error)                              = (*dedupcr.Runtime).Restart
+	_ func(*dedupcr.Runtime, context.Context) (int, error)             = (*dedupcr.Runtime).RestartCtx
+)
+
+// TestCollectiveErrorTaxonomy pins the errors.Is/As contract of the
+// failure model as seen through the facade.
+func TestCollectiveErrorTaxonomy(t *testing.T) {
+	cause := errors.New("disk on fire")
+	ce := &dedupcr.CollectiveError{Ranks: []int{2, 5}, Phase: "put", Cause: cause}
+	wrapped := fmt.Errorf("checkpoint 7: %w", ce)
+
+	if !errors.Is(wrapped, dedupcr.ErrAborted) {
+		t.Error("CollectiveError does not match ErrAborted")
+	}
+	if !errors.Is(wrapped, dedupcr.ErrRankFailed) {
+		t.Error("CollectiveError with ranks does not match ErrRankFailed")
+	}
+	if !errors.Is(wrapped, cause) {
+		t.Error("root cause unreachable through the chain")
+	}
+	var got *dedupcr.CollectiveError
+	if !errors.As(wrapped, &got) || got.Phase != "put" {
+		t.Errorf("errors.As lost the CollectiveError: %+v", got)
+	}
+	if ranks := dedupcr.FailedRanks(wrapped); !slices.Equal(ranks, []int{2, 5}) {
+		t.Errorf("FailedRanks = %v, want [2 5]", ranks)
+	}
+
+	// An unattributed abort (context deadline, explicit Abort) is
+	// ErrAborted but not ErrRankFailed.
+	plain := &dedupcr.CollectiveError{Cause: cause}
+	if !errors.Is(plain, dedupcr.ErrAborted) {
+		t.Error("unattributed abort does not match ErrAborted")
+	}
+	if errors.Is(plain, dedupcr.ErrRankFailed) {
+		t.Error("unattributed abort matches ErrRankFailed")
+	}
+	if dedupcr.FailedRanks(errors.New("unrelated")) != nil {
+		t.Error("FailedRanks invented ranks for an unrelated error")
+	}
+}
+
+// TestPublicAPICancellation checks that an already-cancelled context
+// surfaces promptly through the context-first entry points.
+func TestPublicAPICancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cluster := dedupcr.NewCluster(2)
+	err := dedupcr.RunCtx(ctx, 2, func(ctx context.Context, c dedupcr.Comm) error {
+		_, err := dedupcr.DumpOutputCtx(ctx, c, cluster.Node(c.Rank()), make([]byte, 4096), dedupcr.Options{K: 1})
+		return err
+	})
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancellation cause lost: %v", err)
+	}
+}
 
 // TestPublicAPIRoundTrip exercises the library exactly as a downstream
 // user would: through the root package only.

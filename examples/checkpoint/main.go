@@ -8,8 +8,11 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"dedupcr/internal/apps/hpccg"
 	"dedupcr/internal/collectives"
@@ -31,11 +34,17 @@ func opts() core.Options {
 }
 
 func main() {
+	timeout := flag.Duration("timeout", 2*time.Minute, "abort either collective phase after this long")
+	flag.Parse()
+
 	cluster := storage.NewCluster(nRanks)
 	preFailure := make([][]byte, nRanks)
 
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
 	// Phase 1: run the solver with periodic checkpoints.
-	err := collectives.Run(nRanks, func(c collectives.Comm) error {
+	err := collectives.RunCtx(ctx, nRanks, func(ctx context.Context, c collectives.Comm) error {
 		rt := ftrun.New(c, cluster.Node(c.Rank()), opts())
 		app := hpccg.New(c.Rank(), nRanks, hpccg.Config{NX: 12, NY: 12, NZ: 12})
 		for it := 1; it <= iterations; it++ {
@@ -44,7 +53,7 @@ func main() {
 				return err
 			}
 			if it%ckptEvery == 0 {
-				if _, err := rt.CheckpointApp(app); err != nil {
+				if _, err := rt.CheckpointAppCtx(ctx, app); err != nil {
 					return err
 				}
 				if c.Rank() == 0 {
@@ -68,10 +77,10 @@ func main() {
 	cluster.Replace(11)
 
 	// Phase 3: restart everywhere from the newest surviving checkpoint.
-	err = collectives.Run(nRanks, func(c collectives.Comm) error {
+	err = collectives.RunCtx(ctx, nRanks, func(ctx context.Context, c collectives.Comm) error {
 		rt := ftrun.New(c, cluster.Node(c.Rank()), opts())
 		app := hpccg.New(c.Rank(), nRanks, hpccg.Config{NX: 12, NY: 12, NZ: 12})
-		epoch, err := rt.RestartApp(app)
+		epoch, err := rt.RestartAppCtx(ctx, app)
 		if err != nil {
 			return err
 		}

@@ -8,8 +8,11 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"dedupcr/internal/collectives"
 	"dedupcr/internal/core"
@@ -18,20 +21,28 @@ import (
 )
 
 func main() {
+	timeout := flag.Duration("timeout", time.Minute, "abort the collective run after this long")
+	flag.Parse()
+
 	const (
 		nRanks = 8
 		k      = 3 // one local copy + two partner replicas
 	)
 	cluster := storage.NewCluster(nRanks)
 
-	err := collectives.Run(nRanks, func(c collectives.Comm) error {
+	// The context bounds the whole collective run: if any rank stalls,
+	// the deadline aborts the group instead of deadlocking it.
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	err := collectives.RunCtx(ctx, nRanks, func(ctx context.Context, c collectives.Comm) error {
 		// Build a dataset with natural redundancy: a header every rank
 		// shares, plus a rank-private body.
 		shared := bytes.Repeat([]byte("common-configuration-block. "), 1024)
 		private := bytes.Repeat([]byte(fmt.Sprintf("rank-%d-data. ", c.Rank())), 2048)
 		buf := append(append([]byte{}, shared...), private...)
 
-		res, err := core.DumpOutput(c, cluster.Node(c.Rank()), buf, core.Options{
+		res, err := core.DumpOutputCtx(ctx, c, cluster.Node(c.Rank()), buf, core.Options{
 			K:        k,
 			Approach: core.CollDedup,
 			Name:     "quickstart",
@@ -48,7 +59,7 @@ func main() {
 		}
 
 		// Restore and verify.
-		got, err := core.Restore(c, cluster.Node(c.Rank()), "quickstart")
+		got, err := core.RestoreCtx(ctx, c, cluster.Node(c.Rank()), "quickstart")
 		if err != nil {
 			return err
 		}

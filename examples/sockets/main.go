@@ -9,11 +9,14 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"flag"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"dedupcr/internal/apps/cm1"
 	"dedupcr/internal/collectives"
@@ -23,6 +26,9 @@ import (
 )
 
 func main() {
+	timeout := flag.Duration("timeout", time.Minute, "abort the collective dump/restore after this long")
+	flag.Parse()
+
 	const nRanks, k = 6, 3
 
 	tmp, err := os.MkdirTemp("", "dedupcr-sockets-*")
@@ -41,13 +47,18 @@ func main() {
 	}
 	fmt.Println()
 
+	// One deadline for all ranks: a cancelled or expired context aborts
+	// the TCP collectives on every rank instead of hanging the group.
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
 	var wg sync.WaitGroup
 	errs := make([]error, nRanks)
 	for r := 0; r < nRanks; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			errs[rank] = runRank(comms[rank], filepath.Join(tmp, fmt.Sprintf("node%d", rank)))
+			errs[rank] = runRank(ctx, comms[rank], filepath.Join(tmp, fmt.Sprintf("node%d", rank)))
 		}(r)
 	}
 	wg.Wait()
@@ -62,7 +73,7 @@ func main() {
 	fmt.Println("sockets OK: dump and restore ran over real TCP with disk-backed stores")
 }
 
-func runRank(c collectives.Comm, dir string) error {
+func runRank(ctx context.Context, c collectives.Comm, dir string) error {
 	store, err := storage.NewDisk(dir)
 	if err != nil {
 		return err
@@ -74,7 +85,7 @@ func runRank(c collectives.Comm, dir string) error {
 	}
 	buf := app.CheckpointImage()
 
-	res, err := core.DumpOutput(c, store, buf, core.Options{
+	res, err := core.DumpOutputCtx(ctx, c, store, buf, core.Options{
 		K:         3,
 		Approach:  core.CollDedup,
 		ChunkSize: 256,
@@ -91,7 +102,7 @@ func runRank(c collectives.Comm, dir string) error {
 			metrics.Bytes(s.BytesRecv), s.MsgsSent)
 	}
 
-	got, err := core.Restore(c, store, "cm1-demo")
+	got, err := core.RestoreCtx(ctx, c, store, "cm1-demo")
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package collectives
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -48,6 +49,28 @@ func (g *Group) Close() error {
 	return nil
 }
 
+// abortAll delivers the abort to every rank's mailbox: in process,
+// failure dissemination is instantaneous.
+func (g *Group) abortAll(e *CollectiveError) {
+	for _, b := range g.boxes {
+		b.abort(e)
+	}
+}
+
+// failRank simulates the crash of one rank: its own mailbox aborts (the
+// dead rank can do nothing anymore) and every peer marks it failed —
+// queued messages from it stay deliverable, but any wait that depends on
+// it errors out.
+func (g *Group) failRank(rank int, e *CollectiveError) {
+	for r, b := range g.boxes {
+		if r == rank {
+			b.abort(e)
+		} else {
+			b.failPeer(rank, e)
+		}
+	}
+}
+
 // InprocComm is one rank's endpoint into an in-process Group.
 type InprocComm struct {
 	group *Group
@@ -57,6 +80,8 @@ type InprocComm struct {
 }
 
 var _ Comm = (*InprocComm)(nil)
+var _ aborter = (*InprocComm)(nil)
+var _ killer = (*InprocComm)(nil)
 
 // Rank implements Comm.
 func (c *InprocComm) Rank() int { return c.rank }
@@ -70,6 +95,13 @@ func (c *InprocComm) NextSeq() uint32 { return c.seq.Add(1) }
 // Stats implements Comm.
 func (c *InprocComm) Stats() Stats { return c.snapshot() }
 
+// abortComm implements the collective abort protocol for the in-process
+// transport: every rank of the group observes the failure immediately.
+func (c *InprocComm) abortComm(e *CollectiveError) { c.group.abortAll(e) }
+
+// killComm simulates this rank's crash.
+func (c *InprocComm) killComm(e *CollectiveError) { c.group.failRank(c.rank, e) }
+
 // Send implements Comm. The payload is copied, so the caller may reuse
 // data immediately (matching the TCP transport's semantics).
 func (c *InprocComm) Send(to int, tag Tag, data []byte) error {
@@ -78,6 +110,12 @@ func (c *InprocComm) Send(to int, tag Tag, data []byte) error {
 	}
 	if c.group.closed.Load() {
 		return ErrClosed
+	}
+	// A dead or aborted rank stops sending: its peers either already
+	// observed the failure or will, and failing fast here unblocks
+	// collectives at their next step instead of their next receive.
+	if e := c.group.boxes[c.rank].abortErr(); e != nil {
+		return e
 	}
 	msg := make([]byte, len(data))
 	copy(msg, data)
@@ -110,11 +148,36 @@ func (c *InprocComm) Close() error { return c.group.Close() }
 // one goroutine per rank, and waits for all of them. It returns the first
 // non-nil error (by rank order). The group is closed before Run returns.
 func Run(n int, body func(Comm) error) error {
+	return RunCtx(context.Background(), n, func(_ context.Context, c Comm) error {
+		return body(c)
+	})
+}
+
+// RunCtx is Run with cancellation: when ctx is cancelled the whole group
+// aborts, so every rank blocked in a collective unblocks promptly with a
+// typed *CollectiveError instead of deadlocking. The context is also
+// passed to each rank's body for its own use.
+func RunCtx(ctx context.Context, n int, body func(context.Context, Comm) error) error {
 	g, err := NewGroup(n)
 	if err != nil {
 		return err
 	}
 	defer g.Close()
+
+	stop := func() {}
+	if ctx != nil && ctx.Done() != nil {
+		watch := make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				g.abortAll(&CollectiveError{Cause: context.Cause(ctx)})
+			case <-watch:
+			}
+		}()
+		var once sync.Once
+		stop = func() { once.Do(func() { close(watch) }) }
+	}
+	defer stop()
 
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -133,7 +196,7 @@ func Run(n int, body func(Comm) error) error {
 					g.Close()
 				}
 			}()
-			errs[rank] = body(c)
+			errs[rank] = body(ctx, c)
 		}(r, comm)
 	}
 	wg.Wait()

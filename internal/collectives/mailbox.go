@@ -11,11 +11,25 @@ type msgKey struct {
 // mailbox is a matching receive queue: messages are enqueued by transport
 // readers and dequeued by Recv calls matching on (from, tag). Per-stream
 // FIFO order is preserved. It is shared by both transports.
+//
+// Failure semantics are drain-first: messages already queued stay
+// deliverable after a failure mark, and only a receive that would
+// otherwise wait observes the failure. This keeps benign end-of-job races
+// (a peer closing its connection after sending everything it owed)
+// harmless, while a receive that would genuinely deadlock on a dead peer
+// errors out instead.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queues map[msgKey][][]byte
 	closed bool
+	// aborted, once set, fails every empty-queue wait: the whole group
+	// gave up (collective abort, context cancellation, local kill).
+	aborted *CollectiveError
+	// failed marks individual senders known dead; waits for their
+	// messages — and wildcard waits, which any dead peer may starve —
+	// fail with the recorded error.
+	failed map[int]*CollectiveError
 }
 
 func newMailbox() *mailbox {
@@ -38,8 +52,9 @@ func (m *mailbox) put(from int, tag Tag, data []byte) {
 	m.cond.Broadcast()
 }
 
-// get blocks until a message matching (from, tag) is available or the
-// mailbox is closed.
+// get blocks until a message matching (from, tag) is available, or the
+// mailbox is closed, aborted, or (for an empty queue) the sender is
+// marked failed.
 func (m *mailbox) get(from int, tag Tag) ([]byte, error) {
 	k := msgKey{from, tag}
 	m.mu.Lock()
@@ -59,8 +74,67 @@ func (m *mailbox) get(from int, tag Tag) ([]byte, error) {
 		if m.closed {
 			return nil, ErrClosed
 		}
+		if m.aborted != nil {
+			return nil, m.aborted
+		}
+		if from == AnyRank {
+			// Wildcard traffic loses sender identity, so any dead peer
+			// may be the one whose contribution will never arrive.
+			for _, e := range m.failed {
+				return nil, e
+			}
+		} else if e := m.failed[from]; e != nil {
+			return nil, e
+		}
 		m.cond.Wait()
 	}
+}
+
+// abort fails every empty-queue wait, current and future, with e. The
+// first abort wins; later ones are ignored.
+func (m *mailbox) abort(e *CollectiveError) {
+	m.mu.Lock()
+	if m.aborted == nil {
+		m.aborted = e
+	}
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// abortErr returns the abort error, or nil.
+func (m *mailbox) abortErr() *CollectiveError {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.aborted
+}
+
+// failPeer marks one sender dead. Queued messages from it remain
+// deliverable (drain-first); only waits that would block on it fail.
+func (m *mailbox) failPeer(rank int, e *CollectiveError) {
+	m.mu.Lock()
+	if m.failed == nil {
+		m.failed = make(map[int]*CollectiveError)
+	}
+	if _, ok := m.failed[rank]; !ok {
+		m.failed[rank] = e
+	}
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// unfailPeer clears a sender's death mark: a fresh connection (redial
+// after a timed-out send) proves the peer alive again.
+func (m *mailbox) unfailPeer(rank int) {
+	m.mu.Lock()
+	delete(m.failed, rank)
+	m.mu.Unlock()
+}
+
+// peerFailed returns the failure recorded for rank, or nil.
+func (m *mailbox) peerFailed(rank int) *CollectiveError {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.failed[rank]
 }
 
 // close wakes all blocked receivers with ErrClosed.

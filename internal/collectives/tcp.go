@@ -19,6 +19,13 @@ import (
 //
 //	handshake (once per connection, dialer → accepter): u32 senderRank
 //	frame: u32 payloadLen | u32 tag | payload
+//
+// Failure handling: a connection that dies mid-job marks its peer rank
+// failed (drain-first: already-delivered frames stay consumable, only
+// waits that would block on the dead peer error out), and a rank that
+// aborts — context cancellation, local error, explicit Abort — pushes an
+// abort frame (tagAbort) to every peer over short-lived dedicated
+// connections, so the whole group unblocks within one collective step.
 type TCPComm struct {
 	rank  int
 	addrs []string
@@ -32,11 +39,17 @@ type TCPComm struct {
 
 	seq    atomic.Uint32
 	closed atomic.Bool
-	wg     sync.WaitGroup
+	// aborted holds the abort/kill error once the communicator gave up;
+	// every subsequent operation fails with it.
+	aborted atomic.Pointer[CollectiveError]
+	wg      sync.WaitGroup
 	statsCounter
 }
 
 var _ Comm = (*TCPComm)(nil)
+var _ aborter = (*TCPComm)(nil)
+var _ killer = (*TCPComm)(nil)
+var _ DeadlineSender = (*TCPComm)(nil)
 
 // tcpSender is one outgoing connection with its write lock.
 type tcpSender struct {
@@ -184,6 +197,9 @@ func readFrame(r io.Reader) (Tag, []byte, error) {
 }
 
 // readLoop performs the handshake and pumps frames into the mailbox.
+// A connection that errors mid-job marks its peer rank failed — unless
+// the local communicator is already closed, killed or aborted, in which
+// case the loss carries no information.
 func (c *TCPComm) readLoop(conn net.Conn) {
 	defer c.wg.Done()
 	defer conn.Close()
@@ -195,10 +211,33 @@ func (c *TCPComm) readLoop(conn net.Conn) {
 	if from < 0 || from >= len(c.addrs) {
 		return
 	}
+	// A fresh connection proves the peer alive: clear any stale death
+	// mark (e.g. from a previous connection it dropped and redialed after
+	// a per-put timeout).
+	c.box.unfailPeer(from)
 	for {
 		tag, payload, err := readFrame(conn)
 		if err != nil {
+			if c.closed.Load() || c.aborted.Load() != nil {
+				return
+			}
+			c.box.failPeer(from, &CollectiveError{
+				Ranks: []int{from},
+				Cause: fmt.Errorf("%w: connection to rank %d lost: %v", ErrRankFailed, from, err),
+			})
 			return
+		}
+		if tag == tagAbort {
+			// Failure dissemination from a peer: abort locally, but do
+			// not re-gossip — the origin already notified everyone it
+			// could reach, and the erroring layers above cascade anyway.
+			if ranks, cause, derr := decodeAbortMsg(payload); derr == nil {
+				c.noteAbort(&CollectiveError{
+					Ranks: ranks,
+					Cause: fmt.Errorf("rank %d reported: %s", from, cause),
+				}, false)
+			}
+			continue
 		}
 		c.countRecv(from, len(payload))
 		c.box.put(from, tag, payload)
@@ -210,8 +249,13 @@ func (c *TCPComm) readLoop(conn net.Conn) {
 // so the first send retries through the startup skew.
 const dialTimeout = 30 * time.Second
 
-// sender returns (dialing if needed) the outgoing connection to peer.
-func (c *TCPComm) sender(peer int) (*tcpSender, error) {
+// abortDialTimeout bounds the best-effort abort-frame delivery to one
+// peer; a peer that cannot be reached that fast is likely dead anyway.
+const abortDialTimeout = time.Second
+
+// sender returns (dialing if needed) the outgoing connection to peer. A
+// non-zero deadline additionally bounds the dial retry loop.
+func (c *TCPComm) sender(peer int, deadline time.Time) (*tcpSender, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed.Load() {
@@ -222,13 +266,22 @@ func (c *TCPComm) sender(peer int) (*tcpSender, error) {
 	}
 	var conn net.Conn
 	var err error
-	deadline := time.Now().Add(dialTimeout)
+	limit := time.Now().Add(dialTimeout)
+	if !deadline.IsZero() && deadline.Before(limit) {
+		limit = deadline
+	}
 	for {
+		if e := c.aborted.Load(); e != nil {
+			return nil, e
+		}
+		if e := c.box.peerFailed(peer); e != nil {
+			return nil, e
+		}
 		conn, err = net.Dial("tcp", c.addrs[peer])
 		if err == nil {
 			break
 		}
-		if c.closed.Load() || time.Now().After(deadline) {
+		if c.closed.Load() || time.Now().After(limit) {
 			return nil, fmt.Errorf("collectives: rank %d dial rank %d (%s): %w", c.rank, peer, c.addrs[peer], err)
 		}
 		time.Sleep(50 * time.Millisecond)
@@ -244,10 +297,31 @@ func (c *TCPComm) sender(peer int) (*tcpSender, error) {
 	return s, nil
 }
 
+// dropSender discards a connection after a write error, so the next send
+// to that peer redials instead of reusing a stream with a partial frame.
+func (c *TCPComm) dropSender(peer int, s *tcpSender) {
+	c.mu.Lock()
+	if c.conns[peer] == s {
+		delete(c.conns, peer)
+	}
+	c.mu.Unlock()
+	s.conn.Close()
+}
+
 // Send implements Comm.
 func (c *TCPComm) Send(to int, tag Tag, data []byte) error {
+	return c.SendDeadline(to, tag, data, time.Time{})
+}
+
+// SendDeadline implements DeadlineSender: like Send, but gives up once
+// deadline passes (zero = no bound). A timed-out connection is dropped,
+// so a retry redials a clean stream.
+func (c *TCPComm) SendDeadline(to int, tag Tag, data []byte, deadline time.Time) error {
 	if err := checkPeer(c, to); err != nil {
 		return err
+	}
+	if e := c.aborted.Load(); e != nil {
+		return e
 	}
 	if to == c.rank {
 		// Self-send: deliver locally without touching the network.
@@ -256,14 +330,25 @@ func (c *TCPComm) Send(to int, tag Tag, data []byte) error {
 		c.box.put(c.rank, tag, msg)
 		return nil
 	}
-	s, err := c.sender(to)
+	s, err := c.sender(to, deadline)
 	if err != nil {
 		return err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := writeFrame(s.conn, tag, data); err != nil {
-		return fmt.Errorf("collectives: send to rank %d: %w", to, err)
+	if !deadline.IsZero() {
+		s.conn.SetWriteDeadline(deadline)
+	}
+	werr := writeFrame(s.conn, tag, data)
+	if werr == nil && !deadline.IsZero() {
+		s.conn.SetWriteDeadline(time.Time{})
+	}
+	s.mu.Unlock()
+	if werr != nil {
+		c.dropSender(to, s)
+		if e := c.aborted.Load(); e != nil {
+			return e
+		}
+		return fmt.Errorf("collectives: send to rank %d: %w", to, werr)
 	}
 	c.countSend(to, len(data))
 	return nil
@@ -275,6 +360,80 @@ func (c *TCPComm) Recv(from int, tag Tag) ([]byte, error) {
 		return nil, err
 	}
 	return c.box.get(from, tag)
+}
+
+// noteAbort records the first abort, fails every local wait, and poisons
+// outgoing connections so writers blocked on slow peers unblock. When
+// gossip is set (local aborts), the failure is additionally disseminated
+// to all peers in the background.
+func (c *TCPComm) noteAbort(e *CollectiveError, gossip bool) {
+	if !c.aborted.CompareAndSwap(nil, e) {
+		return
+	}
+	c.box.abort(e)
+	c.mu.Lock()
+	for _, s := range c.conns {
+		s.conn.SetDeadline(time.Now())
+	}
+	c.mu.Unlock()
+	if gossip {
+		c.gossipAbort(e)
+	}
+}
+
+// gossipAbort pushes the abort frame to every peer over short-lived
+// dedicated connections (the cached senders may be blocked or already
+// poisoned). Strictly best effort: unreachable peers are skipped after
+// abortDialTimeout, and the goroutines outlive neither their dials nor
+// their single frame write.
+func (c *TCPComm) gossipAbort(e *CollectiveError) {
+	cause := ""
+	if e.Cause != nil {
+		cause = e.Cause.Error()
+	}
+	payload := encodeAbortMsg(e.Ranks, cause)
+	for peer := range c.addrs {
+		if peer == c.rank {
+			continue
+		}
+		go func(addr string) {
+			conn, err := net.DialTimeout("tcp", addr, abortDialTimeout)
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(abortDialTimeout))
+			var hs [4]byte
+			binary.BigEndian.PutUint32(hs[:], uint32(c.rank))
+			if _, err := conn.Write(hs[:]); err != nil {
+				return
+			}
+			writeFrame(conn, tagAbort, payload)
+		}(c.addrs[peer])
+	}
+}
+
+// abortComm implements the collective abort protocol: local failure plus
+// best-effort dissemination.
+func (c *TCPComm) abortComm(e *CollectiveError) { c.noteAbort(e, true) }
+
+// killComm simulates this rank's crash: everything local fails and every
+// connection drops abruptly, with no notification — peers detect the
+// death through connection loss, exactly like a real process crash.
+func (c *TCPComm) killComm(e *CollectiveError) {
+	if !c.aborted.CompareAndSwap(nil, e) {
+		return
+	}
+	c.box.abort(e)
+	c.listener.Close()
+	c.mu.Lock()
+	for _, s := range c.conns {
+		s.conn.Close()
+	}
+	for _, conn := range c.inbound {
+		conn.Close()
+	}
+	c.mu.Unlock()
 }
 
 // Close implements Comm. It closes the listener and all connections;

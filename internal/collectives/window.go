@@ -42,6 +42,12 @@ type Window struct {
 	// concurrently and must be safe for that.
 	OnPut func(bytes int, d time.Duration)
 
+	// PutTimeout, when positive, bounds each remote Put's transport time
+	// on deadline-capable transports (TCP); a timed-out put fails with a
+	// transient, retryable error. Other transports ignore it. Set it
+	// before the first Put.
+	PutTimeout time.Duration
+
 	puts     atomic.Int64
 	putBytes atomic.Int64
 	waitTime time.Duration
@@ -102,6 +108,11 @@ func (w *Window) put(target int, offset int64, data []byte) error {
 	frame := make([]byte, 8+len(data))
 	binary.BigEndian.PutUint64(frame, uint64(offset))
 	copy(frame[8:], data)
+	if w.PutTimeout > 0 {
+		if ds, ok := w.comm.(DeadlineSender); ok {
+			return ds.SendDeadline(target, w.tag, frame, time.Now().Add(w.PutTimeout))
+		}
+	}
 	return w.comm.Send(target, w.tag, frame)
 }
 

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dedupcr/internal/chunk"
@@ -73,12 +76,66 @@ func beginPhase(rec *trace.Recorder, name string, dst *time.Duration) func() {
 // factor.
 //
 // DumpOutput is collective and synchronizing: all ranks must call it with
-// the same Options (except buf, whose size may differ per rank).
+// the same Options (except buf, whose size may differ per rank). It is
+// equivalent to DumpOutputCtx with a background context.
 func DumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options) (*Result, error) {
+	return DumpOutputCtx(context.Background(), c, store, buf, o)
+}
+
+// DumpOutputCtx is DumpOutput under a context: cancelling ctx (or passing
+// its deadline) aborts the collective on this rank and disseminates the
+// abort through the transport, so every rank of the group unblocks
+// promptly instead of deadlocking on the missing participant.
+//
+// Any mid-dump failure — a cancelled context, a dead rank, a store error —
+// likewise aborts the group: survivors return a *collectives.CollectiveError
+// naming the failed ranks, the pipeline phase, and the cause (match it
+// with errors.As, or errors.Is against collectives.ErrAborted and
+// collectives.ErrRankFailed). The local store is left consistent: either
+// the dump committed fully, or every partial effect was rolled back so
+// the dataset name stays Forget-clean. After an abort the communicator is
+// poisoned and must be recreated; previously committed datasets remain
+// restorable.
+func DumpOutputCtx(ctx context.Context, c collectives.Comm, store storage.Store, buf []byte, o Options) (*Result, error) {
 	o, err := o.normalized(c.Size())
 	if err != nil {
 		return nil, err
 	}
+	if ctx != nil && ctx.Err() != nil {
+		return nil, context.Cause(ctx)
+	}
+	stop := collectives.WatchContext(ctx, c)
+	defer stop()
+	var phase string
+	res, err := dumpOutput(c, store, buf, o, &phase)
+	if err != nil {
+		return nil, failCollective(c, err, phase)
+	}
+	return res, nil
+}
+
+// failCollective terminates a collective operation that failed on this
+// rank: the communicator is aborted so every blocked peer unblocks and
+// observes the failure on its next collective step, and the error is
+// wrapped into a *collectives.CollectiveError carrying the pipeline phase.
+// The wrap always allocates a fresh CollectiveError: in-proc groups share
+// one instance across all ranks, so decorating it in place would race.
+func failCollective(c collectives.Comm, err error, phase string) error {
+	collectives.Abort(c, err)
+	var ce *collectives.CollectiveError
+	if errors.As(err, &ce) {
+		if ce.Phase != "" {
+			return err
+		}
+		return &collectives.CollectiveError{Ranks: ce.Ranks, Phase: phase, Cause: err}
+	}
+	return &collectives.CollectiveError{Ranks: []int{c.Rank()}, Phase: phase, Cause: err}
+}
+
+// dumpOutput runs the dump pipeline with already-normalized options,
+// recording the currently running phase into curPhase for error
+// attribution.
+func dumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options, curPhase *string) (*Result, error) {
 	me, n := c.Rank(), c.Size()
 	m := metrics.Dump{Rank: me, DatasetBytes: int64(len(buf))}
 	dumpStart := time.Now()
@@ -86,6 +143,15 @@ func DumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options) 
 		Arg("approach", o.Approach.String()).
 		Arg("bytes", fmt.Sprint(len(buf)))
 	defer dumpSpan.End()
+
+	// begin opens a pipeline phase and additionally publishes its name to
+	// the error-attribution slot and to the transport (NotePhase), which
+	// phase-scoped fault injection keys on.
+	begin := func(name string, dst *time.Duration) func() {
+		*curPhase = name
+		collectives.NotePhase(c, name)
+		return beginPhase(o.Trace, name, dst)
+	}
 
 	// Phase 1 — chunking and fingerprinting (every byte is hashed once).
 	// Both built-in chunkers expose their boundary scan separately from
@@ -110,10 +176,10 @@ func DumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options) 
 	var done func()
 	switch {
 	case isCut && o.Parallelism > 1:
-		done = beginPhase(o.Trace, "chunking", &m.Phases.Chunking)
+		done = begin("chunking", &m.Phases.Chunking)
 		cuts := cc.Cuts(buf)
 		done()
-		done = beginPhase(o.Trace, "fingerprint", &m.Phases.Fingerprint)
+		done = begin("fingerprint", &m.Phases.Fingerprint)
 		if o.Approach == CollDedup {
 			leaf = fingerprint.NewTable(o.F, o.K)
 		}
@@ -136,26 +202,26 @@ func DumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options) 
 		m.Phases.FingerprintWorkers = busy
 		// The dedup filter ran inside the fingerprint wall time; only the
 		// leaf table's top-F trim remains.
-		done = beginPhase(o.Trace, "local-dedup", &m.Phases.LocalDedup)
+		done = begin("local-dedup", &m.Phases.LocalDedup)
 		if leaf != nil {
 			leaf.Trim()
 		}
 		done()
 	case isCut:
-		done = beginPhase(o.Trace, "chunking", &m.Phases.Chunking)
+		done = begin("chunking", &m.Phases.Chunking)
 		cuts := cc.Cuts(buf)
 		done()
-		done = beginPhase(o.Trace, "fingerprint", &m.Phases.Fingerprint)
+		done = begin("fingerprint", &m.Phases.Fingerprint)
 		chunks = chunk.FromCuts(buf, cuts)
 		done()
-		done = beginPhase(o.Trace, "local-dedup", &m.Phases.LocalDedup)
+		done = begin("local-dedup", &m.Phases.LocalDedup)
 		uniq = localDedup(chunks)
 		done()
 	default:
-		done = beginPhase(o.Trace, "chunking", &m.Phases.Chunking)
+		done = begin("chunking", &m.Phases.Chunking)
 		chunks = chunker.Split(buf)
 		done()
-		done = beginPhase(o.Trace, "local-dedup", &m.Phases.LocalDedup)
+		done = begin("local-dedup", &m.Phases.LocalDedup)
 		uniq = localDedup(chunks)
 		done()
 	}
@@ -174,7 +240,7 @@ func DumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options) 
 	if o.Approach == CollDedup {
 		classifyDst, classifyName = &m.Phases.Reduction, "reduction"
 	}
-	done = beginPhase(o.Trace, classifyName, classifyDst)
+	done = begin(classifyName, classifyDst)
 	items, hints, global, err := classify(c, chunks, uniq, leaf, o, &m)
 	done()
 	if err != nil {
@@ -186,7 +252,7 @@ func DumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options) 
 	// still shift in phase 5, totals cannot.
 	load := sendLoads(items, o.K)
 	pre := c.Stats()
-	done = beginPhase(o.Trace, "load-exchange", &m.Phases.LoadExchange)
+	done = begin("load-exchange", &m.Phases.LoadExchange)
 	sendLoad, err := collectives.AllgatherInt64(c, load)
 	done()
 	if err != nil {
@@ -206,7 +272,7 @@ func DumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options) 
 			totals[r] += row[d]
 		}
 	}
-	done = beginPhase(o.Trace, "planning", &m.Phases.Planning)
+	done = begin("planning", &m.Phases.Planning)
 	shuffle := SelectShuffle(totals, o)
 	if o.Approach == CollDedup {
 		refineTargets(items, shuffle, o.K, me)
@@ -215,7 +281,7 @@ func DumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options) 
 	done()
 	if o.Approach == CollDedup {
 		pre = c.Stats()
-		done = beginPhase(o.Trace, "load-exchange", &m.Phases.LoadExchange)
+		done = begin("load-exchange", &m.Phases.LoadExchange)
 		sendLoad, err = collectives.AllgatherInt64(c, load)
 		done()
 		if err != nil {
@@ -223,7 +289,7 @@ func DumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options) 
 		}
 		m.LoadExchangeBytes += c.Stats().BytesSent - pre.BytesSent
 	}
-	done = beginPhase(o.Trace, "planning", &m.Phases.Planning)
+	done = begin("planning", &m.Phases.Planning)
 	plan, err := NewPlan(shuffle, sendLoad, o.K)
 	done()
 	if err != nil {
@@ -235,25 +301,28 @@ func DumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options) 
 	// offsets, then drain the own window until full.
 	winSize := plan.WindowSize(me)
 	m.WindowBytes = winSize
-	done = beginPhase(o.Trace, "window-open", &m.Phases.WindowOpen)
+	done = begin("window-open", &m.Phases.WindowOpen)
 	win := collectives.OpenWindow(c, winSize, c.NextSeq())
 	done()
 	m.PutLatency = metrics.NewHistogram()
 	win.OnPut = func(bytes int, d time.Duration) {
 		m.PutLatency.Record(d.Nanoseconds())
 	}
+	win.PutTimeout = o.Retry.PutTimeout
+	var putRetries atomic.Int64
 	offs := plan.Offsets(me)
-	done = beginPhase(o.Trace, "put", &m.Phases.Put)
+	done = begin("put", &m.Phases.Put)
 	if o.Parallelism > 1 && o.K > 2 {
-		err = putParallel(win, plan, items, offs, o, me, &m)
+		err = putParallel(win, plan, items, offs, o, me, &m, &putRetries)
 	} else {
-		err = putSerial(win, plan, items, offs, o, me, &m)
+		err = putSerial(win, plan, items, offs, o, me, &m, &putRetries)
 	}
 	done()
+	m.PutRetries = putRetries.Load()
 	if err != nil {
 		return nil, fmt.Errorf("rank %d %w", me, err)
 	}
-	done = beginPhase(o.Trace, "window-wait", &m.Phases.WindowWait)
+	done = begin("window-wait", &m.Phases.WindowWait)
 	recvBuf, err := win.Wait()
 	done()
 	if err != nil {
@@ -262,36 +331,52 @@ func DumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options) 
 
 	// Phase 7 — commit: own chunks, received chunks, restore metadata
 	// (with the recipe built here, where it is consumed), and the
-	// reference list that lets Forget reclaim this dataset.
-	done = beginPhase(o.Trace, "commit", &m.Phases.Commit)
+	// reference list that lets Forget reclaim this dataset. Every stored
+	// reference is tracked so a failure anywhere from here on rolls the
+	// local store back to its pre-dump state (see rollbackDump) — the
+	// consistency half of the abort protocol.
+	done = begin("commit", &m.Phases.Commit)
 	recipe := chunk.BuildRecipe(chunks)
 	refs := make([]fingerprint.FP, 0, len(items))
-	for _, it := range items {
-		if err := store.PutChunk(it.ch.FP, it.ch.Data); err != nil {
-			return nil, fmt.Errorf("rank %d store chunk: %w", me, err)
+	commitErr := func() error {
+		for _, it := range items {
+			if err := store.PutChunk(it.ch.FP, it.ch.Data); err != nil {
+				return fmt.Errorf("rank %d store chunk: %w", me, err)
+			}
+			refs = append(refs, it.ch.FP)
+			m.StoredChunks++
+			m.StoredBytes += int64(len(it.ch.Data))
 		}
-		refs = append(refs, it.ch.FP)
-		m.StoredChunks++
-		m.StoredBytes += int64(len(it.ch.Data))
-	}
-	recvRefs, err := commitReceived(store, recvBuf, &m)
-	if err != nil {
-		return nil, fmt.Errorf("rank %d commit received: %w", me, err)
-	}
-	refs = append(refs, recvRefs...)
-	if err := store.PutBlob(gcName(o.Name, me), marshalFPs(refs)); err != nil {
-		return nil, fmt.Errorf("rank %d gc list: %w", me, err)
-	}
-	if err := persistMeta(c, store, o, recipe, hints); err != nil {
-		return nil, fmt.Errorf("rank %d persist meta: %w", me, err)
-	}
+		recvRefs, err := commitReceived(store, recvBuf, &m)
+		refs = append(refs, recvRefs...)
+		if err != nil {
+			return fmt.Errorf("rank %d commit received: %w", me, err)
+		}
+		if err := store.PutBlob(gcName(o.Name, me), marshalFPs(refs)); err != nil {
+			return fmt.Errorf("rank %d gc list: %w", me, err)
+		}
+		if err := persistMeta(c, store, o, recipe, hints); err != nil {
+			return fmt.Errorf("rank %d persist meta: %w", me, err)
+		}
+		return nil
+	}()
 	done()
+	if commitErr != nil {
+		rollbackDump(store, o.Name, me, n, o.K, refs)
+		return nil, commitErr
+	}
 
-	// The dump completes collectively once everyone has committed.
-	done = beginPhase(o.Trace, "barrier", &m.Phases.Barrier)
+	// The dump completes collectively once everyone has committed. The
+	// barrier's dissemination structure gives the consistency argument its
+	// other half: no rank exits the barrier before every rank has entered
+	// it, i.e. before every rank has committed. So if the barrier fails,
+	// no rank can have completed the dump — every survivor rolls back and
+	// the dataset is globally absent, as if the dump never ran.
+	done = begin("barrier", &m.Phases.Barrier)
 	err = collectives.Barrier(c)
 	done()
 	if err != nil {
+		rollbackDump(store, o.Name, me, n, o.K, refs)
 		return nil, fmt.Errorf("rank %d final barrier: %w", me, err)
 	}
 	// The completion barrier's exit stamp doubles as this rank's wall-clock
@@ -305,12 +390,33 @@ func DumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options) 
 	return &Result{Metrics: m, Plan: plan, Global: global}, nil
 }
 
+// putRetry drives one window put under the dump's retry policy: transient
+// transport failures (refused dials, timed-out puts, injected faults) are
+// retried up to rp.Attempts times with doubling backoff, counting each
+// retry; aborts, rank failures and cancellations are final and returned
+// immediately. Re-putting is idempotent at the receiver — the planned
+// offset region is fixed, so a retried record lands on the same bytes.
+func putRetry(win *collectives.Window, target int, off int64, rec []byte, rp RetryPolicy, retries *atomic.Int64) error {
+	backoff := rp.Backoff
+	for attempt := 1; ; attempt++ {
+		err := win.Put(target, off, rec)
+		if err == nil || attempt >= rp.Attempts || !collectives.IsTransient(err) {
+			return err
+		}
+		retries.Add(1)
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+}
+
 // putPartner pushes every item destined for partner index d into the
 // target's window, records starting at off. The per-partner offset
 // regions are disjoint by construction (Algorithm 3), so putPartner calls
 // for different d never touch the same window bytes — which is what makes
 // them safe to run concurrently. Returns chunks and payload bytes sent.
-func putPartner(win *collectives.Window, target int, off int64, items []item, d int) (int, int64, error) {
+func putPartner(win *collectives.Window, target int, off int64, items []item, d int, rp RetryPolicy, retries *atomic.Int64) (int, int64, error) {
 	var chunks int
 	var bytes int64
 	for _, it := range items {
@@ -318,7 +424,7 @@ func putPartner(win *collectives.Window, target int, off int64, items []item, d 
 			continue
 		}
 		rec := encodeRecord(it.ch.Data)
-		if err := win.Put(target, off, rec); err != nil {
+		if err := putRetry(win, target, off, rec, rp, retries); err != nil {
 			return chunks, bytes, fmt.Errorf("put to %d: %w", target, err)
 		}
 		off += int64(len(rec))
@@ -330,9 +436,9 @@ func putPartner(win *collectives.Window, target int, off int64, items []item, d 
 
 // putSerial is the reference put phase: partner windows filled one after
 // the other, in partner-index order.
-func putSerial(win *collectives.Window, plan *Plan, items []item, offs []int64, o Options, me int, m *metrics.Dump) error {
+func putSerial(win *collectives.Window, plan *Plan, items []item, offs []int64, o Options, me int, m *metrics.Dump, retries *atomic.Int64) error {
 	for d := 1; d < o.K; d++ {
-		chunks, bytes, err := putPartner(win, plan.Partner(me, d), offs[d], items, d)
+		chunks, bytes, err := putPartner(win, plan.Partner(me, d), offs[d], items, d, o.Retry, retries)
 		m.SentChunks += chunks
 		m.SentBytes += bytes
 		if err != nil {
@@ -350,7 +456,7 @@ func putSerial(win *collectives.Window, plan *Plan, items []item, offs []int64, 
 // accumulated in partner order after the join, keeping the metrics
 // deterministic too; each worker records its own trace span, attributed
 // via the partner arg.
-func putParallel(win *collectives.Window, plan *Plan, items []item, offs []int64, o Options, me int, m *metrics.Dump) error {
+func putParallel(win *collectives.Window, plan *Plan, items []item, offs []int64, o Options, me int, m *metrics.Dump, retries *atomic.Int64) error {
 	type putResult struct {
 		chunks int
 		bytes  int64
@@ -370,7 +476,7 @@ func putParallel(win *collectives.Window, plan *Plan, items []item, offs []int64
 			sp := o.Trace.Begin("put-worker").
 				Arg("partner", fmt.Sprint(d)).
 				Arg("target", fmt.Sprint(plan.Partner(me, d)))
-			chunks, bytes, err := putPartner(win, plan.Partner(me, d), offs[d], items, d)
+			chunks, bytes, err := putPartner(win, plan.Partner(me, d), offs[d], items, d, o.Retry, retries)
 			sp.End()
 			results[d-1] = putResult{chunks, bytes, time.Since(start), err}
 		}(d)
@@ -673,23 +779,24 @@ func encodeRecord(data []byte) []byte {
 // commitReceived parses the filled window and stores every chunk,
 // fingerprinting it on arrival (the receiver indexes partner chunks by
 // content, exactly like its own). It returns the stored references for
-// the dataset's reclamation list.
+// the dataset's reclamation list — including, on error, the references
+// already committed, so the caller can roll them back.
 func commitReceived(store storage.Store, recvBuf []byte, m *metrics.Dump) ([]fingerprint.FP, error) {
 	var refs []fingerprint.FP
 	for cur := 0; cur < len(recvBuf); {
 		if cur+4 > len(recvBuf) {
-			return nil, fmt.Errorf("window record header truncated at offset %d", cur)
+			return refs, fmt.Errorf("window record header truncated at offset %d", cur)
 		}
 		size := int(binary.BigEndian.Uint32(recvBuf[cur:]))
 		cur += 4
 		if cur+size > len(recvBuf) {
-			return nil, fmt.Errorf("window record of %d bytes overruns window at offset %d", size, cur)
+			return refs, fmt.Errorf("window record of %d bytes overruns window at offset %d", size, cur)
 		}
 		data := recvBuf[cur : cur+size]
 		cur += size
 		fp := fingerprint.Of(data)
 		if err := store.PutChunk(fp, data); err != nil {
-			return nil, err
+			return refs, err
 		}
 		refs = append(refs, fp)
 		m.RecvChunks++

@@ -49,6 +49,26 @@ func unmarshalFPs(data []byte) ([]fingerprint.FP, error) {
 	return fps, nil
 }
 
+// rollbackDump undoes a partially committed dump on this node: every
+// chunk reference the failed dump stored is released, and the dataset's
+// blobs — reference list, own restore metadata, and the K-1 neighbour
+// metadata replicas this rank may have received — are tombstoned. The
+// store ends up as if the dump never ran here, so a later Forget of the
+// failed dataset reports storage.ErrNotFound like any unknown name.
+// Best-effort by design: it runs on error paths where the store itself
+// may be failing, and a missed release only leaks a refcount, never
+// corrupts a committed dataset.
+func rollbackDump(store storage.Store, name string, rank, n, k int, refs []fingerprint.FP) {
+	for _, fp := range refs {
+		_ = store.ReleaseChunk(fp)
+	}
+	_ = store.PutBlob(gcName(name, rank), nil)
+	_ = store.PutBlob(metaName(name, rank), nil)
+	for d := 1; d < k; d++ {
+		_ = store.PutBlob(metaName(name, (rank-d+n)%n), nil)
+	}
+}
+
 // Forget releases this node's storage for a dataset dumped earlier under
 // name: every chunk reference the dump added is dropped, deleting chunks
 // whose count reaches zero, and the dataset's metadata blobs are

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"dedupcr/internal/chunk"
 	"dedupcr/internal/trace"
@@ -43,7 +44,50 @@ func (a Approach) String() string {
 // evaluation (2^17).
 const DefaultF = 1 << 17
 
+// RetryPolicy bounds the retries of transient transport failures during
+// the window-put exchange (refused or dropped TCP connections, injected
+// transient faults). Retries never apply to collective aborts, rank
+// failures or cancellations — those terminate the dump.
+//
+// Zero values: Attempts <= 1 disables retries (every put is tried once);
+// Backoff 0 retries immediately; PutTimeout 0 leaves puts unbounded.
+type RetryPolicy struct {
+	// Attempts is the maximum number of tries per put (including the
+	// first); values below 1 mean 1.
+	Attempts int
+	// Backoff is the sleep before the first retry, doubling with every
+	// further one.
+	Backoff time.Duration
+	// PutTimeout bounds each put attempt on deadline-capable transports
+	// (TCP); a timed-out attempt counts as transient and is retried.
+	PutTimeout time.Duration
+}
+
+// normalized resolves the policy's defaults.
+func (rp RetryPolicy) normalized() RetryPolicy {
+	if rp.Attempts < 1 {
+		rp.Attempts = 1
+	}
+	return rp
+}
+
 // Options configures a collective dump.
+//
+// Zero-value behavior, in one place: the zero Options is invalid only for
+// K (a replication factor must be chosen explicitly). Every other field
+// has a working default resolved by normalization:
+//
+//	K              required; must be 1 <= K <= group size
+//	Approach       NoDedup (the baselines stay explicit at call sites)
+//	F              0 = DefaultF (2^17); negative = unbounded
+//	ChunkSize      0 = 4 KiB (chunk.DefaultSize)
+//	ContentDefined false = fixed-size chunking
+//	Shuffle        nil = on for CollDedup, off for the baselines
+//	Name           "" = "dataset"
+//	Topology       nil = no rack awareness; non-nil requires Shuffle on
+//	Trace          nil = no span recording
+//	Parallelism    0 = GOMAXPROCS; 1 = serial reference path
+//	Retry          zero = single attempt, no backoff, unbounded puts
 type Options struct {
 	// K is the replication factor: the dataset survives the loss of any
 	// K-1 nodes. K=1 stores a single local copy.
@@ -63,14 +107,15 @@ type Options struct {
 	ContentDefined bool
 	// Shuffle enables the load-aware partner selection of Algorithm 2.
 	// Only meaningful for CollDedup (the baselines use naive partners,
-	// as in the paper). Default true for CollDedup via Normalize.
+	// as in the paper). Default true for CollDedup via normalization.
 	Shuffle *bool
 	// Name identifies the dataset (e.g. "ckpt-000123"); recipes are
 	// persisted under it. Empty defaults to "dataset".
 	Name string
 	// Topology, when set, enables rack-aware partner selection (the
 	// paper's future-work extension): the shuffle additionally spreads
-	// each rank's partners across racks. Requires Shuffle.
+	// each rank's partners across racks. Requires Shuffle: leaving
+	// Shuffle nil turns it on implicitly, setting it false is rejected.
 	Topology *Topology
 	// Trace, when set, records one span per pipeline phase into this
 	// rank's recorder (see internal/trace). Nil disables tracing; the
@@ -87,6 +132,11 @@ type Options struct {
 	// — so figures and tables reproduce regardless. Parallelism may
 	// differ per rank (it only shapes local execution).
 	Parallelism int
+	// Retry bounds retries of transient transport faults during the
+	// window-put exchange; the zero value disables retrying. Retry
+	// counters surface through metrics.Dump.PutRetries and the cluster
+	// telemetry plane.
+	Retry RetryPolicy
 }
 
 // normalized resolves defaults and validates against the group size.
@@ -106,6 +156,18 @@ func (o Options) normalized(groupSize int) (Options, error) {
 	if o.ChunkSize <= 0 {
 		o.ChunkSize = chunk.DefaultSize
 	}
+	if o.Topology != nil {
+		// The docs promise Topology requires Shuffle: enforce it instead
+		// of silently computing a rack-unaware plan.
+		if o.Shuffle == nil {
+			o.Shuffle = Bool(true)
+		} else if !*o.Shuffle {
+			return o, fmt.Errorf("core: Options.Topology requires Shuffle")
+		}
+		if err := o.Topology.Validate(groupSize); err != nil {
+			return o, err
+		}
+	}
 	if o.Shuffle == nil {
 		on := o.Approach == CollDedup
 		o.Shuffle = &on
@@ -116,6 +178,7 @@ func (o Options) normalized(groupSize int) (Options, error) {
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	o.Retry = o.Retry.normalized()
 	return o, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -26,6 +27,30 @@ const fetchClass fetch.Class = 0
 // the replication factor buys.
 func Restore(c collectives.Comm, store storage.Store, name string) ([]byte, error) {
 	return RestoreWithTrace(c, store, name, nil)
+}
+
+// RestoreCtx is Restore under a context: cancelling ctx aborts the
+// collective restore on this rank and disseminates the abort, unblocking
+// every rank (the fetch service and completion barrier otherwise wait for
+// the whole group). Like DumpOutputCtx, any mid-restore failure aborts
+// the group and surfaces on every survivor as a *collectives.CollectiveError;
+// the restore only reads and re-provisions, so no rollback is needed.
+func RestoreCtx(ctx context.Context, c collectives.Comm, store storage.Store, name string) ([]byte, error) {
+	return RestoreCtxWithTrace(ctx, c, store, name, nil)
+}
+
+// RestoreCtxWithTrace is RestoreCtx with per-phase span recording.
+func RestoreCtxWithTrace(ctx context.Context, c collectives.Comm, store storage.Store, name string, rec *trace.Recorder) ([]byte, error) {
+	if ctx != nil && ctx.Err() != nil {
+		return nil, context.Cause(ctx)
+	}
+	stop := collectives.WatchContext(ctx, c)
+	defer stop()
+	buf, err := RestoreWithTrace(c, store, name, rec)
+	if err != nil {
+		return nil, failCollective(c, err, "restore")
+	}
+	return buf, nil
 }
 
 // RestoreWithTrace is Restore with per-phase span recording: metadata

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"dedupcr/internal/telemetry"
 	"dedupcr/internal/trace"
@@ -89,6 +90,10 @@ type Config struct {
 	// but scenarios are cached per setting so timing experiments can
 	// compare them.
 	Parallelism int
+	// Timeout bounds each collective scenario run: when it expires the
+	// group aborts and the experiment fails with a collective error
+	// instead of hanging. Zero means no deadline.
+	Timeout time.Duration
 	// OnCluster, when set, receives the ClusterDump and the per-rank
 	// trace slices of every scenario an experiment aggregates through
 	// the telemetry plane (currently the imbalance experiment; one call

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -187,8 +188,16 @@ func runScenarioUncached(cfg Config, w Workload, n, k int, approach core.Approac
 	for c := range res.Dumps {
 		res.Dumps[c] = make([]metrics.Dump, n)
 	}
+	// A configured timeout turns a wedged scenario into a prompt
+	// collective abort on every rank.
+	ctx := context.Background()
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
 	var mu sync.Mutex
-	err := collectives.Run(n, func(c collectives.Comm) error {
+	err := collectives.RunCtx(ctx, n, func(ctx context.Context, c collectives.Comm) error {
 		var rec *trace.Recorder
 		if recs != nil {
 			rec = recs[c.Rank()]
@@ -210,7 +219,7 @@ func runScenarioUncached(cfg Config, w Workload, n, k int, approach core.Approac
 				Trace:       rec,
 				Parallelism: cfg.Parallelism,
 			}
-			r, err := core.DumpOutput(c, cluster.Node(c.Rank()), app.CheckpointImage(), o)
+			r, err := core.DumpOutputCtx(ctx, c, cluster.Node(c.Rank()), app.CheckpointImage(), o)
 			if err != nil {
 				return err
 			}

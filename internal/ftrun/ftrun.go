@@ -13,6 +13,7 @@
 package ftrun
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -52,6 +53,10 @@ type Runtime struct {
 	// oldest is the lowest epoch not yet reclaimed by Truncate.
 	oldest int
 
+	// initErr records an invalid configuration detected at construction;
+	// every operation returns it, keeping New's signature error-free.
+	initErr error
+
 	// LastDump holds the metrics of the most recent checkpoint.
 	LastDump *metrics.Dump
 }
@@ -63,12 +68,21 @@ var ErrNoCheckpoint = errors.New("ftrun: no surviving checkpoint")
 const latestBlob = "ftrun/latest"
 
 // New creates a runtime for this rank. opts.Name is used as the
-// checkpoint name prefix (default "ckpt").
+// checkpoint name prefix (default "ckpt"). An invalid replication factor
+// (K < 1, or K exceeding the group size) is rejected consistently with
+// core's option validation: New still returns a runtime, but every
+// operation on it fails with the configuration error.
 func New(comm collectives.Comm, store storage.Store, opts core.Options) *Runtime {
 	if opts.Name == "" || opts.Name == "dataset" {
 		opts.Name = "ckpt"
 	}
-	return &Runtime{comm: comm, store: store, opts: opts, epoch: -1}
+	rt := &Runtime{comm: comm, store: store, opts: opts, epoch: -1}
+	if opts.K < 1 {
+		rt.initErr = fmt.Errorf("ftrun: replication factor K=%d must be >= 1", opts.K)
+	} else if opts.K > comm.Size() {
+		rt.initErr = fmt.Errorf("ftrun: replication factor K=%d exceeds group size %d", opts.K, comm.Size())
+	}
+	return rt
 }
 
 // Register allocates a tracked region of the given size and returns its
@@ -173,23 +187,37 @@ func (rt *Runtime) loadImage(buf []byte) error {
 // Checkpoint takes a collective checkpoint of all registered regions.
 // All ranks must call it together.
 func (rt *Runtime) Checkpoint() (*core.Result, error) {
+	return rt.CheckpointCtx(context.Background())
+}
+
+// CheckpointCtx is Checkpoint under a context: cancellation aborts the
+// collective dump on every rank (see core.DumpOutputCtx).
+func (rt *Runtime) CheckpointCtx(ctx context.Context) (*core.Result, error) {
 	img, err := rt.image()
 	if err != nil {
 		return nil, err
 	}
-	return rt.checkpointImage(img)
+	return rt.checkpointImage(ctx, img)
 }
 
 // CheckpointApp takes a collective checkpoint of an application-mode app.
 func (rt *Runtime) CheckpointApp(app Checkpointable) (*core.Result, error) {
-	return rt.checkpointImage(app.CheckpointImage())
+	return rt.CheckpointAppCtx(context.Background(), app)
 }
 
-func (rt *Runtime) checkpointImage(img []byte) (*core.Result, error) {
+// CheckpointAppCtx is CheckpointApp under a context.
+func (rt *Runtime) CheckpointAppCtx(ctx context.Context, app Checkpointable) (*core.Result, error) {
+	return rt.checkpointImage(ctx, app.CheckpointImage())
+}
+
+func (rt *Runtime) checkpointImage(ctx context.Context, img []byte) (*core.Result, error) {
+	if rt.initErr != nil {
+		return nil, rt.initErr
+	}
 	epoch := rt.epoch + 1
 	o := rt.opts
 	o.Name = rt.ckptName(epoch)
-	res, err := core.DumpOutput(rt.comm, rt.store, img, o)
+	res, err := core.DumpOutputCtx(ctx, rt.comm, rt.store, img, o)
 	if err != nil {
 		return nil, fmt.Errorf("ftrun: checkpoint %d: %w", epoch, err)
 	}
@@ -239,6 +267,9 @@ func maxInt64Merge(acc, other []byte) ([]byte, error) {
 // reference counting (consecutive checkpoints typically overlap heavily,
 // so truncation mostly releases the delta). Local and non-collective.
 func (rt *Runtime) Truncate(keepLast int) error {
+	if rt.initErr != nil {
+		return rt.initErr
+	}
 	if keepLast < 1 {
 		return fmt.Errorf("ftrun: must keep at least one checkpoint, got %d", keepLast)
 	}
@@ -254,7 +285,13 @@ func (rt *Runtime) Truncate(keepLast int) error {
 // Restart restores the newest surviving checkpoint into the registered
 // regions (transparent mode). Collective.
 func (rt *Runtime) Restart() (int, error) {
-	img, epoch, err := rt.restartImage()
+	return rt.RestartCtx(context.Background())
+}
+
+// RestartCtx is Restart under a context: cancellation aborts both the
+// epoch agreement and the collective restore on every rank.
+func (rt *Runtime) RestartCtx(ctx context.Context) (int, error) {
+	img, epoch, err := rt.restartImage(ctx)
 	if err != nil {
 		return -1, err
 	}
@@ -267,7 +304,12 @@ func (rt *Runtime) Restart() (int, error) {
 // RestartApp restores the newest surviving checkpoint into an
 // application-mode app. Collective.
 func (rt *Runtime) RestartApp(app Checkpointable) (int, error) {
-	img, epoch, err := rt.restartImage()
+	return rt.RestartAppCtx(context.Background(), app)
+}
+
+// RestartAppCtx is RestartApp under a context.
+func (rt *Runtime) RestartAppCtx(ctx context.Context, app Checkpointable) (int, error) {
+	img, epoch, err := rt.restartImage(ctx)
 	if err != nil {
 		return -1, err
 	}
@@ -277,15 +319,23 @@ func (rt *Runtime) RestartApp(app Checkpointable) (int, error) {
 	return epoch, nil
 }
 
-func (rt *Runtime) restartImage() ([]byte, int, error) {
+func (rt *Runtime) restartImage(ctx context.Context) ([]byte, int, error) {
+	if rt.initErr != nil {
+		return nil, -1, rt.initErr
+	}
+	// The epoch agreement is itself collective: run it under the context
+	// watcher so a cancellation arriving before (or during) the restore
+	// proper still unblocks the Allreduce on every rank.
+	stop := collectives.WatchContext(ctx, rt.comm)
 	epoch, err := rt.newestEpoch()
+	stop()
 	if err != nil {
 		return nil, -1, err
 	}
 	if epoch < 0 {
 		return nil, -1, ErrNoCheckpoint
 	}
-	img, err := core.Restore(rt.comm, rt.store, rt.ckptName(epoch))
+	img, err := core.RestoreCtx(ctx, rt.comm, rt.store, rt.ckptName(epoch))
 	if err != nil {
 		return nil, -1, fmt.Errorf("ftrun: restart from epoch %d: %w", epoch, err)
 	}

@@ -2,6 +2,8 @@ package ftrun
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"testing"
 
@@ -231,6 +233,58 @@ func TestImageRegionMismatchRejected(t *testing.T) {
 		rt2.Register("b", 128)
 		if _, err := rt2.Restart(); err == nil {
 			return fmt.Errorf("mismatched region layout accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNewRejectsBadK: an invalid replication factor is caught at
+// construction and surfaced by every operation — none of which may reach
+// a collective step, since a misconfigured rank would deadlock the group.
+func TestNewRejectsBadK(t *testing.T) {
+	const n = 2
+	cluster := storage.NewCluster(n)
+	err := collectives.Run(n, func(c collectives.Comm) error {
+		for _, k := range []int{-3, 0, n + 1} {
+			rt := New(c, cluster.Node(c.Rank()), core.Options{K: k})
+			rt.Register("state", 64)
+			if _, err := rt.Checkpoint(); err == nil {
+				return fmt.Errorf("Checkpoint accepted K=%d", k)
+			}
+			if _, err := rt.Restart(); err == nil {
+				return fmt.Errorf("Restart accepted K=%d", k)
+			}
+			if err := rt.Truncate(1); err == nil {
+				return fmt.Errorf("Truncate accepted K=%d", k)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointCtxCancelled: a cancelled context fails the checkpoint
+// fast with the cancellation cause, on every rank, before any collective
+// step can block.
+func TestCheckpointCtxCancelled(t *testing.T) {
+	const n = 2
+	cluster := storage.NewCluster(n)
+	cause := errors.New("job preempted")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	err := collectives.Run(n, func(c collectives.Comm) error {
+		rt := New(c, cluster.Node(c.Rank()), core.Options{K: 2, Approach: core.CollDedup, ChunkSize: 256})
+		rt.Register("state", 1024)
+		if _, err := rt.CheckpointCtx(ctx); !errors.Is(err, cause) {
+			return fmt.Errorf("rank %d: %v, want the cancellation cause", c.Rank(), err)
+		}
+		if _, err := rt.RestartCtx(ctx); !errors.Is(err, cause) {
+			return fmt.Errorf("rank %d restart: %v, want the cancellation cause", c.Rank(), err)
 		}
 		return nil
 	})

@@ -86,6 +86,7 @@ func (d Dump) WritePrometheusOpts(w io.Writer, o PromOptions) {
 	counter("dedupcr_load_exchange_bytes_total", "Bytes sent for the load allgathers.", d.LoadExchangeBytes)
 	counter("dedupcr_window_bytes_total", "Size of the receive window this rank opened.", d.WindowBytes)
 	counter("dedupcr_unique_content_bytes_total", "Bytes of content the approach identified as unique.", d.UniqueContentBytes)
+	counter("dedupcr_put_retries_total", "Window puts retried after a transient transport failure.", d.PutRetries)
 
 	fmt.Fprintf(w, "# HELP dedupcr_phase_seconds Wall-clock time of one dump pipeline phase.\n")
 	fmt.Fprintf(w, "# TYPE dedupcr_phase_seconds gauge\n")

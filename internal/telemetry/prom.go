@@ -43,6 +43,8 @@ func (cd *ClusterDump) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "dedupcr_cluster_recv_bytes %d\n", cd.TotalRecvBytes)
 	gauge("dedupcr_cluster_stored_bytes", "Bytes committed to local stores, summed over ranks.")
 	fmt.Fprintf(w, "dedupcr_cluster_stored_bytes %d\n", cd.TotalStoredBytes)
+	gauge("dedupcr_cluster_put_retries", "Window puts retried after transient transport failures, summed over ranks.")
+	fmt.Fprintf(w, "dedupcr_cluster_put_retries %d\n", cd.TotalPutRetries)
 
 	gauge("dedupcr_cluster_rank_sent_bytes", "Replication bytes one rank pushed to partners.")
 	for _, rs := range cd.PerRank {

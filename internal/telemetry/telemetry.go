@@ -113,6 +113,9 @@ type ClusterDump struct {
 	TotalSentBytes, TotalRecvBytes int64
 	// TotalStoredBytes sums storage load over ranks.
 	TotalStoredBytes int64
+	// TotalPutRetries sums window-put retries over ranks: nonzero means
+	// the dump survived transient transport faults via its RetryPolicy.
+	TotalPutRetries int64
 	// PerRank has one summary per rank, indexed by rank.
 	PerRank []RankSummary
 	// DesignationImbalance is max/mean of per-rank stored bytes: 1.0 is
@@ -191,6 +194,7 @@ func Aggregate(dumps []metrics.Dump, opts Options) (*ClusterDump, error) {
 		cd.TotalSentBytes += d.SentBytes
 		cd.TotalRecvBytes += d.RecvBytes
 		cd.TotalStoredBytes += d.StoredBytes
+		cd.TotalPutRetries += d.PutRetries
 	}
 	if !earliest.IsZero() {
 		cd.ClockSpread = ref.Sub(earliest)

@@ -9,8 +9,9 @@ import (
 )
 
 // dumpWireVersion tags the binary layout of an encoded metrics.Dump so a
-// mixed-version group fails loudly instead of mis-decoding.
-const dumpWireVersion = 1
+// mixed-version group fails loudly instead of mis-decoding. Version 2
+// appended PutRetries to the fixed counter block.
+const dumpWireVersion = 2
 
 // EncodeDump serializes one rank's dump metrics for the in-band gather:
 // a version byte, the fixed counters and phase durations as big-endian
@@ -45,6 +46,7 @@ func EncodeDump(d metrics.Dump) ([]byte, error) {
 	i64(d.LoadExchangeBytes)
 	i64(d.WindowBytes)
 	i64(d.UniqueContentBytes)
+	i64(d.PutRetries)
 
 	p := d.Phases
 	for _, ph := range []time.Duration{
@@ -119,7 +121,7 @@ func DecodeDump(data []byte) (metrics.Dump, error) {
 		return out, true
 	}
 
-	ints := make([]int64, 16)
+	ints := make([]int64, 17)
 	for i := range ints {
 		v, ok := i64()
 		if !ok {
@@ -143,6 +145,7 @@ func DecodeDump(data []byte) (metrics.Dump, error) {
 	d.LoadExchangeBytes = ints[13]
 	d.WindowBytes = ints[14]
 	d.UniqueContentBytes = ints[15]
+	d.PutRetries = ints[16]
 
 	phases := make([]time.Duration, 12)
 	for i := range phases {

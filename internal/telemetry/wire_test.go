@@ -18,7 +18,7 @@ func fullDump(rank int) metrics.Dump {
 		HashedBytes: 1 << 20, StoredChunks: 210, StoredBytes: 860_000,
 		SentChunks: 120, SentBytes: 490_000, RecvChunks: 118, RecvBytes: 480_000,
 		ReductionBytes: 65_000, ReductionRounds: 3, LoadExchangeBytes: 2_048,
-		WindowBytes: 500_000, UniqueContentBytes: 820_000,
+		WindowBytes: 500_000, UniqueContentBytes: 820_000, PutRetries: 7,
 		Phases: metrics.Phases{
 			Chunking: time.Millisecond, Fingerprint: 2 * time.Millisecond,
 			LocalDedup: 300 * time.Microsecond, Reduction: 4 * time.Millisecond,
@@ -51,6 +51,7 @@ func TestDumpWireRoundTrip(t *testing.T) {
 	inCmp.PutLatency, outCmp.PutLatency = nil, nil
 	if inCmp.Rank != outCmp.Rank || inCmp.SentBytes != outCmp.SentBytes ||
 		inCmp.Phases.Put != outCmp.Phases.Put ||
+		inCmp.PutRetries != outCmp.PutRetries ||
 		!inCmp.BarrierExit.Equal(outCmp.BarrierExit) {
 		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", inCmp, outCmp)
 	}
