@@ -1,0 +1,42 @@
+# Developer entry points; CI runs the same commands (see
+# .github/workflows/ci.yml and README "CI quality gate").
+
+GO ?= go
+
+.PHONY: all build test race vet dedupvet lint fmt fuzz-smoke bench
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# vet = stock go vet + the repo's own invariant analyzers.
+vet: dedupvet
+	$(GO) vet ./...
+
+dedupvet:
+	$(GO) run ./cmd/dedupvet ./...
+
+fmt:
+	gofmt -l -w .
+
+lint: vet
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi
+
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzCDCChunker -fuzztime 30s ./internal/chunk
+	$(GO) test -run '^$$' -fuzz FuzzFrameRoundTrip -fuzztime 30s ./internal/collectives
+	$(GO) test -run '^$$' -fuzz FuzzAbortMessage -fuzztime 30s ./internal/collectives
+	$(GO) test -run '^$$' -fuzz FuzzTableUnmarshal -fuzztime 30s ./internal/fingerprint
+	$(GO) test -run '^$$' -fuzz FuzzRestoreMetaUnmarshal -fuzztime 30s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzDecodeDump -fuzztime 30s ./internal/telemetry
+	$(GO) test -run '^$$' -fuzz FuzzHybridMetaUnmarshal -fuzztime 30s ./internal/hybrid
+
+bench:
+	DEDUPCR_QUICK=1 $(GO) test -bench . -benchtime 1x -run '^$$'

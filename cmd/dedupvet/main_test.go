@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles the dedupvet binary once per test into a temp dir.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "dedupvet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build dedupvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// dirtyLib is a library file with one ctxcheck finding and nothing else.
+const dirtyLib = `package lib
+
+import "context"
+
+func Process() error {
+	ctx := context.Background()
+	return ctx.Err()
+}
+`
+
+// cleanLib is the compat-annotated version of the same file.
+const cleanLib = `package lib
+
+import "context"
+
+// Process is the documented pre-context wrapper.
+//
+//dedupvet:compat
+func Process() error {
+	ctx := context.Background()
+	return ctx.Err()
+}
+`
+
+// writeModule lays out a scratch module with the given internal/lib file.
+func writeModule(t *testing.T, lib string) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/vettest\n\ngo 1.22\n")
+	write("internal/lib/lib.go", lib)
+	return dir
+}
+
+func TestProtocolVersion(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	// cmd/go requires `<name> version <version>` with a non-devel version;
+	// it hashes the line as the tool's build ID.
+	if !regexp.MustCompile(`^dedupvet version [^\s]+\n$`).Match(out) {
+		t.Fatalf("-V=full output %q does not satisfy the cmd/go tool-id protocol", out)
+	}
+	if strings.Contains(string(out), "devel") {
+		t.Fatalf("-V=full output %q reports a devel version, which cmd/go rejects", out)
+	}
+}
+
+func TestProtocolFlags(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	var flags []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(out, &flags); err != nil {
+		t.Fatalf("-flags output %q is not the JSON cmd/go expects: %v", out, err)
+	}
+}
+
+// exitCode runs cmd and returns its exit status plus combined output.
+func exitCode(t *testing.T, cmd *exec.Cmd) (int, string) {
+	t.Helper()
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode(), string(out)
+	}
+	t.Fatalf("run %v: %v\n%s", cmd.Args, err, out)
+	return -1, ""
+}
+
+func TestStandaloneFindsAndDisables(t *testing.T) {
+	bin := buildTool(t)
+	dir := writeModule(t, dirtyLib)
+
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	code, out := exitCode(t, cmd)
+	if code != 2 || !strings.Contains(out, "ctxcheck") {
+		t.Fatalf("standalone run: exit %d, want 2 with a ctxcheck finding\n%s", code, out)
+	}
+
+	cmd = exec.Command(bin, "-disable", "ctxcheck", "./...")
+	cmd.Dir = dir
+	code, out = exitCode(t, cmd)
+	if code != 0 {
+		t.Fatalf("standalone -disable ctxcheck: exit %d, want 0\n%s", code, out)
+	}
+}
+
+func TestStandaloneCleanTree(t *testing.T) {
+	bin := buildTool(t)
+	dir := writeModule(t, cleanLib)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	code, out := exitCode(t, cmd)
+	if code != 0 {
+		t.Fatalf("standalone run on clean tree: exit %d, want 0\n%s", code, out)
+	}
+}
+
+func TestGoVetVettool(t *testing.T) {
+	bin := buildTool(t)
+
+	dir := writeModule(t, dirtyLib)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	code, out := exitCode(t, cmd)
+	if code == 0 || !strings.Contains(out, "ctxcheck") {
+		t.Fatalf("go vet -vettool on dirty tree: exit %d, want nonzero with a ctxcheck finding\n%s", code, out)
+	}
+
+	dir = writeModule(t, cleanLib)
+	cmd = exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	code, out = exitCode(t, cmd)
+	if code != 0 {
+		t.Fatalf("go vet -vettool on clean tree: exit %d, want 0\n%s", code, out)
+	}
+}

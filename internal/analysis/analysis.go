@@ -1,0 +1,248 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis API shape, built on the standard
+// library's go/ast and go/types only. It exists because the repo's
+// correctness invariants — collective determinism, bounded decoding,
+// failure attribution, lock discipline, context discipline — cannot be
+// expressed in generic vet/staticcheck checks, and the build environment
+// pins dependencies to the standard library.
+//
+// The shapes mirror x/tools deliberately (Analyzer, Pass, Diagnostic), so
+// the analyzers under internal/analysis/... could be ported to the real
+// framework by swapping imports if the dependency ever becomes available.
+//
+// # Directives
+//
+// Analyzers share one suppression mechanism: a `//dedupvet:<name>` comment
+// on the offending line, on the line directly above it, or in the doc
+// comment of the enclosing declaration. Each analyzer documents the
+// directive names it honours (e.g. `//dedupvet:ordered` for the
+// determinism analyzer, `//dedupvet:bounded` for boundedmake). Directives
+// deliberately require an audit trail: they mark a site a human has
+// reviewed, exactly like the 1 GiB frame bound that motivated boundedmake.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one machine-checked invariant: a name, what it checks,
+// and the function that checks one package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flag names. It must
+	// be a valid Go identifier.
+	Name string
+	// Doc is the one-paragraph description printed by `dedupvet help`.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings through
+	// pass.Report/Reportf. The error return is for operational failures
+	// (not findings); it aborts the whole run.
+	Run func(*Pass) error
+}
+
+// A Pass is one (analyzer, package) unit of work, carrying everything the
+// analyzer may inspect.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed source files (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo carries the type-checker's fact tables for Files.
+	TypesInfo *types.Info
+	// Report delivers one finding. The driver installs it.
+	Report func(Diagnostic)
+
+	directives map[*ast.File]directiveIndex
+}
+
+// A Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// Path returns the package's import path.
+func (p *Pass) Path() string {
+	if p.Pkg == nil {
+		return ""
+	}
+	return p.Pkg.Path()
+}
+
+// PathHasSuffix reports whether the package path equals suffix or ends in
+// "/"+suffix. Analyzers scope themselves by path suffix so the same rule
+// matches both the real tree ("dedupcr/internal/core") and analysistest
+// fixtures ("internal/core").
+func (p *Pass) PathHasSuffix(suffix string) bool {
+	path := p.Path()
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// directive is one parsed `//dedupvet:<name> [args]` comment.
+type directive struct {
+	name string
+	args string
+}
+
+// directiveIndex maps source lines to the directives written on them.
+type directiveIndex map[int][]directive
+
+// DirectivePrefix is the comment prefix shared by all analyzers.
+const DirectivePrefix = "//dedupvet:"
+
+// parseDirective extracts a directive from one comment's text, or returns
+// ok=false.
+func parseDirective(text string) (directive, bool) {
+	if !strings.HasPrefix(text, DirectivePrefix) {
+		return directive{}, false
+	}
+	body := strings.TrimPrefix(text, DirectivePrefix)
+	name, args, _ := strings.Cut(body, " ")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return directive{}, false
+	}
+	return directive{name: name, args: strings.TrimSpace(args)}, true
+}
+
+// fileDirectives builds (and caches) the line index of file's directives.
+func (p *Pass) fileDirectives(file *ast.File) directiveIndex {
+	if idx, ok := p.directives[file]; ok {
+		return idx
+	}
+	idx := directiveIndex{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if d, ok := parseDirective(c.Text); ok {
+				line := p.Fset.Position(c.Slash).Line
+				idx[line] = append(idx[line], d)
+			}
+		}
+	}
+	if p.directives == nil {
+		p.directives = make(map[*ast.File]directiveIndex)
+	}
+	p.directives[file] = idx
+	return idx
+}
+
+// File returns the *ast.File of Files that contains pos, or nil.
+func (p *Pass) File(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// Suppressed reports whether a `//dedupvet:<name>` directive covers pos:
+// written on the same line or on the line directly above.
+func (p *Pass) Suppressed(pos token.Pos, name string) bool {
+	file := p.File(pos)
+	if file == nil {
+		return false
+	}
+	idx := p.fileDirectives(file)
+	line := p.Fset.Position(pos).Line
+	for _, d := range idx[line] {
+		if d.name == name {
+			return true
+		}
+	}
+	for _, d := range idx[line-1] {
+		if d.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncDirective returns the args of the `//dedupvet:<name>` directive in
+// fn's doc comment, and whether it is present at all.
+func FuncDirective(fn *ast.FuncDecl, name string) (args string, ok bool) {
+	if fn == nil || fn.Doc == nil {
+		return "", false
+	}
+	for _, c := range fn.Doc.List {
+		if d, dok := parseDirective(c.Text); dok && d.name == name {
+			return d.args, true
+		}
+	}
+	return "", false
+}
+
+// FuncDecls yields every top-level function declaration of the pass, file
+// by file in Fset order.
+func (p *Pass) FuncDecls() []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok {
+				out = append(out, fn)
+			}
+		}
+	}
+	return out
+}
+
+// CalleeFunc resolves a call expression to the *types.Func it invokes
+// (package function or method), or nil for indirect/builtin calls.
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// FuncPkgPath returns the import path of the package declaring fn, or "".
+func FuncPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// PkgPathHasSuffix reports whether path equals suffix or ends in
+// "/"+suffix (see Pass.PathHasSuffix).
+func PkgPathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, analyzer —
+// the stable presentation order of every driver.
+func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}

@@ -1,0 +1,12 @@
+package boundedmake_test
+
+import (
+	"testing"
+
+	"dedupcr/internal/analysis/analysistest"
+	"dedupcr/internal/analysis/boundedmake"
+)
+
+func TestBoundedMake(t *testing.T) {
+	analysistest.Run(t, boundedmake.Analyzer, "wire")
+}

@@ -1,0 +1,136 @@
+// Package ctxcheck enforces the context discipline of the context-first
+// API (DESIGN.md §9): cancellation must flow from the caller to every
+// blocking collective, so library code may neither mint its own root
+// context nor silently drop one it was handed.
+//
+// Two rules, scoped to library packages (import paths containing an
+// internal/ element, plus the root facade — cmd/ and examples/ binaries
+// legitimately create root contexts):
+//
+//  1. No context.Background() or context.TODO() outside the documented
+//     compat wrappers. The wrappers (DumpOutput, Run, Checkpoint, ... —
+//     the pre-context API kept for compatibility) carry a
+//     `//dedupvet:compat` doc directive; anything else must thread the
+//     caller's ctx.
+//
+//  2. No dropped ctx: a function that declares a named context.Context
+//     parameter must use it. A deliberately ignored context is spelled
+//     `_ context.Context`, or the function carries `//dedupvet:compat`.
+package ctxcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dedupcr/internal/analysis"
+)
+
+// Analyzer is the context-discipline checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxcheck",
+	Doc: "forbid context.Background/TODO in library code outside compat " +
+		"wrappers, and flag dropped context parameters",
+	Run: run,
+}
+
+// Directive marks a documented compatibility wrapper (or, as a line
+// suppression, an audited root-context site).
+const Directive = "compat"
+
+func run(pass *analysis.Pass) error {
+	if !isLibraryPkg(pass.Path()) {
+		return nil
+	}
+	for _, fn := range pass.FuncDecls() {
+		if fn.Body == nil {
+			continue
+		}
+		_, compat := analysis.FuncDirective(fn, Directive)
+		if !compat {
+			checkRootContexts(pass, fn)
+		}
+		checkDroppedCtx(pass, fn, compat)
+	}
+	return nil
+}
+
+// isLibraryPkg reports whether path is library territory: any internal/
+// subtree or a bare module-root package (the facade).
+func isLibraryPkg(path string) bool {
+	if strings.Contains(path, "/cmd/") || strings.HasPrefix(path, "cmd/") ||
+		strings.Contains(path, "/examples/") || strings.HasPrefix(path, "examples/") {
+		return false
+	}
+	return strings.Contains(path, "internal/") || !strings.Contains(path, "/")
+}
+
+// checkRootContexts flags context.Background/TODO calls in fn.
+func checkRootContexts(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := pass.CalleeFunc(call)
+		if callee == nil || analysis.FuncPkgPath(callee) != "context" {
+			return true
+		}
+		if name := callee.Name(); name == "Background" || name == "TODO" {
+			if !pass.Suppressed(call.Pos(), Directive) {
+				pass.Reportf(call.Pos(), "context.%s in library code: thread the caller's ctx (compat wrappers are annotated %s%s)",
+					name, analysis.DirectivePrefix, Directive)
+			}
+		}
+		return true
+	})
+}
+
+// checkDroppedCtx flags named context.Context parameters never used by
+// the body.
+func checkDroppedCtx(pass *analysis.Pass, fn *ast.FuncDecl, compat bool) {
+	if compat || fn.Type.Params == nil {
+		return
+	}
+	for _, field := range fn.Type.Params.List {
+		if !isContextType(pass, field.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil || paramUsed(pass, fn.Body, obj) {
+				continue
+			}
+			if !pass.Suppressed(name.Pos(), Directive) {
+				pass.Reportf(name.Pos(), "context parameter %q is dropped: pass it on, or rename it _ to document that cancellation stops here",
+					name.Name)
+			}
+		}
+	}
+}
+
+func isContextType(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Context" && named.Obj().Pkg().Path() == "context"
+}
+
+func paramUsed(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

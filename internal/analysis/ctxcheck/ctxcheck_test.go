@@ -1,0 +1,12 @@
+package ctxcheck_test
+
+import (
+	"testing"
+
+	"dedupcr/internal/analysis/analysistest"
+	"dedupcr/internal/analysis/ctxcheck"
+)
+
+func TestCtxCheck(t *testing.T) {
+	analysistest.Run(t, ctxcheck.Analyzer, "internal/lib", "cmd/tool")
+}

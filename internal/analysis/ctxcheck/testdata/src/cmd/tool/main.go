@@ -1,0 +1,9 @@
+// Package main is binary territory: root contexts are legitimate here
+// and the analyzer skips the package entirely.
+package main
+
+import "context"
+
+func main() {
+	_ = context.Background()
+}

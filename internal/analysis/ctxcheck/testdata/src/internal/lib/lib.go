@@ -1,0 +1,46 @@
+// Package lib is ctxcheck library territory: an internal/ import path.
+package lib
+
+import "context"
+
+// Process mints a root context mid-library.
+func Process(data []byte) error {
+	ctx := context.Background() // want "context.Background in library code"
+	return run(ctx, data)
+}
+
+// ProcessCompat is the documented pre-context wrapper.
+//
+//dedupvet:compat
+func ProcessCompat(data []byte) error {
+	return run(context.Background(), data)
+}
+
+// ProcessRoot is the line-suppressed audited root.
+func ProcessRoot(data []byte) error {
+	// This runner is the root of the call tree by design.
+	//dedupvet:compat
+	ctx := context.TODO()
+	return run(ctx, data)
+}
+
+// Dropped declares a ctx it never threads anywhere.
+func Dropped(ctx context.Context, data []byte) error { // want "context parameter \"ctx\" is dropped"
+	_ = data
+	return nil
+}
+
+// Ignored documents that cancellation stops here: clean.
+func Ignored(_ context.Context, data []byte) error {
+	_ = data
+	return nil
+}
+
+// run threads its ctx: clean.
+func run(ctx context.Context, data []byte) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	_ = data
+	return nil
+}

@@ -1,0 +1,128 @@
+// Package determinism checks the collective-determinism invariant: every
+// rank must compute byte-identical collective decisions from shared state
+// (HMERGE truncation, Algorithm 2 shuffling, Algorithm 3 offset planning —
+// PAPER.md §III). Code on those paths must not depend on map iteration
+// order, wall-clock reads, or the process-seeded global random source.
+//
+// Scope: every function of a package whose import path ends in
+// internal/fingerprint (the whole package is HMERGE decision state), plus
+// any function anywhere annotated with a `//dedupvet:deterministic` doc
+// comment. Within scope the analyzer flags:
+//
+//   - `range` statements over map-typed expressions (nondeterministic
+//     iteration order — sort the keys first),
+//   - calls to time.Now (wall clock differs per rank),
+//   - calls to package-level math/rand and math/rand/v2 functions that
+//     draw from the process-global, randomly seeded source.
+//
+// Audited sites — a range whose body is order-insensitive, or whose
+// output is sorted before use — are suppressed with `//dedupvet:ordered`
+// on the offending line or the line above.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dedupcr/internal/analysis"
+)
+
+// Analyzer is the collective-determinism checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "flag map iteration, time.Now and global math/rand in code that feeds " +
+		"wire encoding or cross-rank collective decisions",
+	Run: run,
+}
+
+// Directive marks a function as wire/decision-sensitive.
+const Directive = "deterministic"
+
+// Suppression marks an audited, order-insensitive site.
+const Suppression = "ordered"
+
+// sensitivePkgSuffixes lists packages that are deterministic territory in
+// their entirety: their output is merged or compared across ranks.
+var sensitivePkgSuffixes = []string{
+	"internal/fingerprint",
+}
+
+// seededRandFuncs are the math/rand constructors that do NOT draw from the
+// global source; calling them is fine (the caller controls the seed).
+var seededRandFuncs = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	pkgSensitive := false
+	for _, suffix := range sensitivePkgSuffixes {
+		if pass.PathHasSuffix(suffix) {
+			pkgSensitive = true
+			break
+		}
+	}
+	for _, fn := range pass.FuncDecls() {
+		_, annotated := analysis.FuncDirective(fn, Directive)
+		if !pkgSensitive && !annotated {
+			continue
+		}
+		if fn.Body == nil {
+			continue
+		}
+		checkBody(pass, fn.Body)
+	}
+	return nil
+}
+
+// checkBody walks one sensitive function body, nested closures included
+// (a closure defined inside a deterministic function runs on its path).
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if isMapType(pass, n.X) && !pass.Suppressed(n.For, Suppression) {
+				pass.Reportf(n.For, "range over map %s has nondeterministic order in collective-deterministic code (sort keys, or annotate the audited site with %s%s)",
+					types.ExprString(n.X), analysis.DirectivePrefix, Suppression)
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		}
+		return true
+	})
+}
+
+func isMapType(pass *analysis.Pass, x ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil {
+		return
+	}
+	path := analysis.FuncPkgPath(fn)
+	switch {
+	case path == "time" && fn.Name() == "Now":
+		if !pass.Suppressed(call.Pos(), Suppression) {
+			pass.Reportf(call.Pos(), "time.Now in collective-deterministic code: wall clock differs across ranks")
+		}
+	case path == "math/rand" || path == "math/rand/v2":
+		// Only package-level functions use the shared global source;
+		// methods on a *rand.Rand inherit whatever seed built it.
+		if fn.Type().(*types.Signature).Recv() != nil || seededRandFuncs[fn.Name()] {
+			return
+		}
+		if !pass.Suppressed(call.Pos(), Suppression) {
+			pass.Reportf(call.Pos(), "%s.%s draws from the process-global random source in collective-deterministic code: use a rank-agreed seeded rand.New", path, fn.Name())
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"dedupcr/internal/analysis/analysistest"
+	"dedupcr/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "internal/fingerprint", "app")
+}

@@ -1,0 +1,23 @@
+// Package app is out of determinism scope by import path; only
+// functions annotated //dedupvet:deterministic are checked.
+package app
+
+// PlanOffsets feeds a collective decision, so it opts into the check.
+//
+//dedupvet:deterministic
+func PlanOffsets(sizes map[int]int) int {
+	total := 0
+	for _, s := range sizes { // want "range over map sizes has nondeterministic order"
+		total += s
+	}
+	return total
+}
+
+// LocalOnly is the identical loop without the annotation: unchecked.
+func LocalOnly(sizes map[int]int) int {
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	return total
+}

@@ -1,0 +1,57 @@
+// Package fingerprint is a determinism fixture: like the real
+// internal/fingerprint package it is collective decision state, so every
+// function is in scope without annotation.
+package fingerprint
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Merge iterates a map with no order guarantee: ranks disagree.
+func Merge(freq map[string]int) []string {
+	var out []string
+	for fp := range freq { // want "range over map freq has nondeterministic order"
+		out = append(out, fp)
+	}
+	return out
+}
+
+// MergeSorted is the audited pattern: collection order is irrelevant
+// because the sort below imposes the shared order.
+func MergeSorted(freq map[string]int) []string {
+	out := make([]string, 0, len(freq))
+	//dedupvet:ordered
+	for fp := range freq {
+		out = append(out, fp)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sum ranges over a slice: deterministic, never flagged.
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Stamp reads the wall clock, which differs across ranks.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in collective-deterministic code"
+}
+
+// Pick draws from the process-global, randomly seeded source.
+func Pick(n int) int {
+	return rand.Intn(n) // want "rand.Intn draws from the process-global random source"
+}
+
+// PickSeeded draws from a caller-seeded source: every rank passing the
+// same seed draws the same values, so both calls are fine.
+func PickSeeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}

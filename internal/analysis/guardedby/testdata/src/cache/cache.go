@@ -1,0 +1,61 @@
+// Package cache is a guardedby fixture: an annotated struct accessed
+// with and without its lock, in both annotation spellings.
+package cache
+
+import "sync"
+
+// Cache is the guarded struct.
+type Cache struct {
+	mu   sync.Mutex
+	data map[string]int // guarded by mu
+	hits int            // guarded by mu
+	//dedupvet:guardedby mu
+	miss int
+}
+
+// New builds through the composite literal, which is not a field use.
+func New() *Cache {
+	return &Cache{data: make(map[string]int)}
+}
+
+// Get takes the lock before every guarded access: clean.
+func (c *Cache) Get(k string) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.data[k]
+	if ok {
+		c.hits++
+	} else {
+		c.miss++
+	}
+	return v, ok
+}
+
+// Peek reads the guarded map without the lock.
+func (c *Cache) Peek(k string) int {
+	return c.data[k] // want "field data is guarded by \"mu\" but accessed without a preceding mu.Lock/RLock"
+}
+
+// Misses exercises the //dedupvet:guardedby annotation spelling.
+func (c *Cache) Misses() int {
+	return c.miss // want "field miss is guarded by \"mu\""
+}
+
+// sizeLocked runs with c.mu held by the caller: the Locked suffix
+// exempts it.
+func (c *Cache) sizeLocked() int {
+	return len(c.data)
+}
+
+// flush runs under the caller's lock too, but keeps its name.
+//
+//dedupvet:locked
+func (c *Cache) flush() {
+	c.data = make(map[string]int)
+}
+
+// Reset initializes before the cache is shared: line-suppressed.
+func (c *Cache) Reset() {
+	//dedupvet:locked single-goroutine setup before the cache escapes
+	c.data = make(map[string]int)
+}

@@ -1,0 +1,49 @@
+// Package core is a phaseattr fixture standing in for the dump/restore
+// pipeline package: its path suffix puts every function in rule 1 scope.
+package core
+
+import "internal/collectives"
+
+// dumpUnphased blocks without ever publishing a phase.
+func dumpUnphased(c collectives.Comm) error {
+	return collectives.Barrier(c) // want "blocking collective Barrier without a preceding NotePhase"
+}
+
+// dumpPhased publishes the phase first: clean.
+func dumpPhased(c collectives.Comm) error {
+	collectives.NotePhase(c, "barrier")
+	return collectives.Barrier(c)
+}
+
+// gatherUnphased exercises a second entry point of the blocking set.
+func gatherUnphased(c collectives.Comm, b []byte) ([][]byte, error) {
+	return collectives.Gather(c, 0, b) // want "blocking collective Gather without a preceding NotePhase"
+}
+
+// reduceHelper runs with the phase already published by its caller.
+//
+//dedupvet:phased
+func reduceHelper(c collectives.Comm) error {
+	return collectives.Barrier(c)
+}
+
+// waitUnphased blocks on the one-sided window.
+func waitUnphased(w *collectives.Window) error {
+	return w.Wait() // want "blocking collective Window.Wait without a preceding NotePhase"
+}
+
+// newError drops the phase the taxonomy exists to carry.
+func newError(ranks []int) error {
+	return &collectives.CollectiveError{Ranks: ranks} // want "CollectiveError constructed without Phase attribution"
+}
+
+// newAttributed sets Phase: clean.
+func newAttributed(ranks []int) error {
+	return &collectives.CollectiveError{Ranks: ranks, Phase: "reduce"}
+}
+
+// newAudited is the line-suppressed pre-pipeline construction.
+func newAudited(ranks []int) error {
+	//dedupvet:phased
+	return &collectives.CollectiveError{Ranks: ranks}
+}

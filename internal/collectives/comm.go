@@ -129,7 +129,7 @@ type statsCounter struct {
 	barrierExit atomic.Int64
 
 	reduceMu     sync.Mutex
-	reduceRounds []time.Duration
+	reduceRounds []time.Duration // guarded by reduceMu
 }
 
 // peerCounter is the per-peer slice of a statsCounter.

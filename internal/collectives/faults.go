@@ -103,10 +103,10 @@ type FaultyComm struct {
 	plan FaultPlan
 
 	mu      sync.Mutex
-	rng     *rand.Rand
-	phase   string
-	matched []int // per-fault count of matched operations (drives After)
-	fired   []int // per-fault count of fired operations (drives Times)
+	rng     *rand.Rand // guarded by mu
+	phase   string     // guarded by mu
+	matched []int      // per-fault count of matched operations (drives After); guarded by mu
+	fired   []int      // per-fault count of fired operations (drives Times); guarded by mu
 }
 
 var _ Comm = (*FaultyComm)(nil)

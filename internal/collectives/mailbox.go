@@ -21,14 +21,15 @@ type msgKey struct {
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queues map[msgKey][][]byte
-	closed bool
+	queues map[msgKey][][]byte // guarded by mu
+	closed bool                // guarded by mu
 	// aborted, once set, fails every empty-queue wait: the whole group
 	// gave up (collective abort, context cancellation, local kill).
+	// guarded by mu
 	aborted *CollectiveError
 	// failed marks individual senders known dead; waits for their
 	// messages — and wildcard waits, which any dead peer may starve —
-	// fail with the recorded error.
+	// fail with the recorded error. guarded by mu
 	failed map[int]*CollectiveError
 }
 

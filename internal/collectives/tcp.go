@@ -33,9 +33,9 @@ type TCPComm struct {
 	listener net.Listener
 	box      *mailbox
 
-	mu      sync.Mutex // guards conns and inbound
-	conns   map[int]*tcpSender
-	inbound []net.Conn
+	mu      sync.Mutex
+	conns   map[int]*tcpSender // guarded by mu
+	inbound []net.Conn         // guarded by mu
 
 	seq    atomic.Uint32
 	closed atomic.Bool

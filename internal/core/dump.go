@@ -78,6 +78,8 @@ func beginPhase(rec *trace.Recorder, name string, dst *time.Duration) func() {
 // DumpOutput is collective and synchronizing: all ranks must call it with
 // the same Options (except buf, whose size may differ per rank). It is
 // equivalent to DumpOutputCtx with a background context.
+//
+//dedupvet:compat context-less convenience wrapper over DumpOutputCtx
 func DumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options) (*Result, error) {
 	return DumpOutputCtx(context.Background(), c, store, buf, o)
 }
@@ -706,6 +708,11 @@ func roundRobinShare(k, d, idx int) int {
 // top-F view broadcast to everyone. A non-nil prebuilt leaf table (from
 // the parallel pipeline) enters the tree directly; otherwise the leaf is
 // built here from the unique chunks — both constructions are identical.
+//
+// The caller (classify, under dumpOutput's begin helper) has already
+// published the reduction phase before this helper blocks.
+//
+//dedupvet:phased
 func reduceGlobal(c collectives.Comm, uniq []chunk.Chunk, leaf *fingerprint.Table, o Options, m *metrics.Dump) (*fingerprint.Table, error) {
 	local := leaf
 	if local == nil {

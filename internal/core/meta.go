@@ -83,6 +83,12 @@ func (m *RestoreMeta) UnmarshalBinary(data []byte) error {
 	}
 	n := int(binary.BigEndian.Uint32(rest))
 	rest = rest[4:]
+	// Hint counts ride peer-replicated blobs: every hint occupies at
+	// least Size+2 bytes, so reject counts the payload cannot hold before
+	// they size the map allocation.
+	if n > len(rest)/(fingerprint.Size+2) {
+		return fmt.Errorf("core: restore meta claims %d hints in %d bytes", n, len(rest))
+	}
 	m.Hints = make(map[fingerprint.FP][]int32, n)
 	for i := 0; i < n; i++ {
 		if len(rest) < fingerprint.Size+2 {

@@ -62,6 +62,10 @@ func RestoreWithTrace(c collectives.Comm, store storage.Store, name string, rec 
 	defer restoreSpan.End()
 	srv := fetch.Serve(c, store, fetchClass)
 
+	// Publish each restore phase to the transport, mirroring the dump
+	// pipeline: failures get attributed to the phase they surfaced in and
+	// phase-scoped fault injection can target restores too.
+	collectives.NotePhase(c, "restore-meta")
 	metaSpan := rec.Begin("load-meta")
 	meta, err := loadMeta(c, store, name)
 	metaSpan.End()
@@ -71,6 +75,7 @@ func RestoreWithTrace(c collectives.Comm, store storage.Store, name string, rec 
 	}
 
 	var cached []fingerprint.FP
+	collectives.NotePhase(c, "assemble")
 	assembleSpan := rec.Begin("assemble")
 	buf, err := meta.Recipe.Assemble(func(fp fingerprint.FP) ([]byte, error) {
 		if data, err := store.GetChunk(fp); err == nil {
@@ -115,6 +120,7 @@ func RestoreWithTrace(c collectives.Comm, store storage.Store, name string, rec 
 	}
 
 	// All ranks keep serving until everyone has finished assembling.
+	collectives.NotePhase(c, "restore-barrier")
 	barrierSpan := rec.Begin("barrier")
 	err = collectives.Barrier(c)
 	barrierSpan.End()

@@ -1,0 +1,66 @@
+package fingerprint
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// detFP builds a distinct deterministic fingerprint for index i.
+func detFP(i int) FP {
+	var fp FP
+	for b := range fp {
+		fp[b] = byte(i >> (8 * (b % 4)))
+		fp[b] ^= byte(31 * b)
+	}
+	fp[0] = byte(i)
+	fp[1] = byte(i >> 8)
+	return fp
+}
+
+// buildShuffled runs the same logical reduction with every rank's chunk
+// stream fed in a seed-dependent order. The table is map-backed, so this
+// varies internal layout and insertion order while the logical content —
+// and therefore the wire encoding every rank must agree on — stays fixed.
+func buildShuffled(seed int64) *Table {
+	r := rand.New(rand.NewSource(seed))
+	const ranks = 8
+	tables := make([]*Table, ranks)
+	for rank := 0; rank < ranks; rank++ {
+		fps := make([]FP, 0, 64)
+		for i := 0; i < 64; i++ {
+			fps = append(fps, detFP(i%48+rank*3))
+		}
+		r.Shuffle(len(fps), func(i, j int) { fps[i], fps[j] = fps[j], fps[i] })
+		tables[rank] = Local(fps, int32(rank), 40, 3)
+	}
+	root := tables[0]
+	for rank := 1; rank < ranks; rank++ {
+		root.Merge(tables[rank])
+	}
+	return root
+}
+
+// TestTableEncodingByteIdentical is the regression test behind the
+// determinism analyzer: 100 independently built reductions of the same
+// inputs must marshal to byte-identical encodings, or ranks would
+// disagree on the global view after Bcast.
+func TestTableEncodingByteIdentical(t *testing.T) {
+	first := buildShuffled(1)
+	if err := first.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := first.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 2; run <= 101; run++ {
+		got, err := buildShuffled(int64(run)).MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("run %d: encoding differs from run 1 (%d vs %d bytes)", run, len(got), len(want))
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package fingerprint
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzTableUnmarshal drives the table decoder with arbitrary bytes: the
+// peer-controlled count prefix must never panic or size an unbounded
+// allocation, and any input that decodes must survive a re-encode cycle.
+func FuzzTableUnmarshal(f *testing.F) {
+	valid, err := buildShuffled(1).MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:8])
+	f.Add(append(valid, 0xFF))
+	// A header claiming far more entries than the payload holds: the
+	// bound check the boundedmake analyzer demanded.
+	hostile := append([]byte(nil), valid[:12]...)
+	binary.BigEndian.PutUint32(hostile[8:], 0x0FFFFFFF)
+	f.Add(hostile)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tb Table
+		if err := tb.UnmarshalBinary(data); err != nil {
+			return
+		}
+		enc, err := tb.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode of decoded table failed: %v", err)
+		}
+		var tb2 Table
+		if err := tb2.UnmarshalBinary(enc); err != nil {
+			t.Fatalf("re-decode of re-encoded table failed: %v", err)
+		}
+	})
+}

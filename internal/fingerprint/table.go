@@ -116,6 +116,9 @@ func (t *Table) Load(rank int32) int32 { return t.load[rank] }
 // aliases the table's entries; callers must not mutate them.
 func (t *Table) Entries() []*Entry {
 	out := make([]*Entry, 0, len(t.entries))
+	// Collection order is irrelevant: the sort below imposes the shared
+	// fingerprint order every rank agrees on.
+	//dedupvet:ordered
 	for _, e := range t.entries {
 		out = append(out, e)
 	}
@@ -214,6 +217,9 @@ func insertSorted(s []int32, r int32) []int32 {
 // Validate checks internal invariants; used by tests and debug builds.
 func (t *Table) Validate() error {
 	want := make(map[int32]int32)
+	// Validation is order-insensitive: each entry is checked in
+	// isolation and the load recount is commutative.
+	//dedupvet:ordered
 	for _, e := range t.entries {
 		if len(e.Ranks) == 0 {
 			return fmt.Errorf("fingerprint %s has no designated ranks", e.FP.Short())
@@ -239,11 +245,13 @@ func (t *Table) Validate() error {
 	if t.F > 0 && len(t.entries) > t.F {
 		return fmt.Errorf("table holds %d entries > F=%d", len(t.entries), t.F)
 	}
+	//dedupvet:ordered — order-insensitive comparison of two load maps.
 	for r, n := range want {
 		if t.load[r] != n {
 			return fmt.Errorf("rank %d load=%d, recount=%d", r, t.load[r], n)
 		}
 	}
+	//dedupvet:ordered
 	for r, n := range t.load {
 		if n != 0 && want[r] == 0 {
 			return fmt.Errorf("rank %d load=%d but designates nothing", r, n)

@@ -47,6 +47,12 @@ func (t *Table) UnmarshalBinary(data []byte) error {
 	t.K = int(binary.BigEndian.Uint32(data[4:]))
 	n := int(binary.BigEndian.Uint32(data[8:]))
 	data = data[12:]
+	// The count prefix is peer-controlled: every entry occupies at least
+	// Size+6 bytes, so a count the payload cannot hold is corrupt or
+	// hostile and must be rejected before it sizes an allocation.
+	if n > len(data)/(Size+6) {
+		return fmt.Errorf("fingerprint: table claims %d entries in %d bytes", n, len(data))
+	}
 	t.entries = make(map[FP]*Entry, n)
 	t.load = make(map[int32]int32)
 	for i := 0; i < n; i++ {

@@ -226,6 +226,11 @@ func (m *meta) unmarshal(data []byte) error {
 	}
 	nHints := int(binary.BigEndian.Uint32(rest))
 	rest = rest[4:]
+	// Every hint occupies at least Size+2 bytes; reject counts the
+	// payload cannot hold before they size the map allocation.
+	if nHints > len(rest)/(fingerprint.Size+2) {
+		return fmt.Errorf("hybrid: meta claims %d hints in %d bytes", nHints, len(rest))
+	}
 	m.Hints = make(map[fingerprint.FP][]int32, nHints)
 	for i := 0; i < nHints; i++ {
 		if len(rest) < fingerprint.Size+2 {

@@ -16,14 +16,18 @@ import (
 type diskStore struct {
 	mu     sync.Mutex
 	dir    string
-	refs   map[fingerprint.FP]int
-	bytes  int64
-	count  int
-	failed bool
+	refs   map[fingerprint.FP]int // guarded by mu
+	bytes  int64                  // guarded by mu
+	count  int                    // guarded by mu
+	failed bool                   // guarded by mu
 }
 
 // NewDisk opens (creating if needed) a disk-backed store rooted at dir.
 // An existing store directory is re-opened and its usage re-indexed.
+// The store is not yet published while indexing, so its fields are
+// accessed without the lock.
+//
+//dedupvet:locked
 func NewDisk(dir string) (Store, error) {
 	for _, sub := range []string{"chunks", "blobs"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {

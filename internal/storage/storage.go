@@ -53,10 +53,10 @@ type Store interface {
 // memStore is the in-memory Store.
 type memStore struct {
 	mu     sync.Mutex
-	chunks map[fingerprint.FP]*memChunk
-	blobs  map[string][]byte
-	bytes  int64
-	failed bool
+	chunks map[fingerprint.FP]*memChunk // guarded by mu
+	blobs  map[string][]byte            // guarded by mu
+	bytes  int64                        // guarded by mu
+	failed bool                         // guarded by mu
 }
 
 type memChunk struct {

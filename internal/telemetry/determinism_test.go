@@ -1,0 +1,26 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestDumpEncodingByteIdentical pins the telemetry wire encoding: 100
+// independently built dumps of the same metrics must encode to the same
+// bytes, so the cross-rank trace merge and the gather's rank check never
+// see layout-dependent output.
+func TestDumpEncodingByteIdentical(t *testing.T) {
+	want, err := EncodeDump(fullDump(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 100; run++ {
+		got, err := EncodeDump(fullDump(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("run %d: encoding differs (%d vs %d bytes)", run, len(got), len(want))
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package telemetry
+
+import "testing"
+
+// FuzzDecodeDump drives the telemetry dump decoder with arbitrary bytes:
+// the duration-slice and histogram length prefixes arrive from peers and
+// must be bounded, and any input that decodes must survive a re-encode
+// cycle.
+func FuzzDecodeDump(f *testing.F) {
+	valid, err := EncodeDump(fullDump(1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:9])
+	f.Add([]byte{})
+	f.Add([]byte{dumpWireVersion})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeDump(data)
+		if err != nil {
+			return
+		}
+		enc, err := EncodeDump(d)
+		if err != nil {
+			t.Fatalf("re-encode of decoded dump failed: %v", err)
+		}
+		if _, err := DecodeDump(enc); err != nil {
+			t.Fatalf("re-decode of re-encoded dump failed: %v", err)
+		}
+	})
+}

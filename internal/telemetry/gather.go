@@ -13,6 +13,12 @@ import (
 // like the dump itself), and only rank 0 receives a non-nil result. The
 // gather rides the same transport as the dump — no out-of-band
 // monitoring channel, matching the paper's in-band measurement setup.
+//
+// The gather runs after the pipeline's completion barrier, outside any
+// dump/restore phase; a failure here is attributed to the telemetry
+// plane by its own error wrapping, not to a pipeline phase.
+//
+//dedupvet:phased
 func GatherCluster(c collectives.Comm, d metrics.Dump, opts Options) (*ClusterDump, error) {
 	enc, err := EncodeDump(d)
 	if err != nil {

@@ -62,9 +62,9 @@ type Trace struct {
 	clock func() time.Duration
 
 	mu       sync.Mutex
-	recs     []*Recorder
-	pidNames map[int]string
-	nextPid  int
+	recs     []*Recorder    // guarded by mu
+	pidNames map[int]string // guarded by mu
+	nextPid  int            // guarded by mu
 }
 
 // New creates a trace whose origin is now.
