@@ -85,3 +85,9 @@ func BenchmarkFig5bCM1SendVsK(b *testing.B) { runExperiment(b, "fig5b") }
 
 // BenchmarkFig5cCM1Shuffle regenerates Figure 5(c) for CM1.
 func BenchmarkFig5cCM1Shuffle(b *testing.B) { runExperiment(b, "fig5c") }
+
+// BenchmarkRestoreFragmentation runs the restore-side fragmentation
+// experiment — dump + instrumented restore across the duplication-degree
+// sweep — gating the restore hot path (recipe walk, fetch service,
+// telemetry gather) against regressions.
+func BenchmarkRestoreFragmentation(b *testing.B) { runExperiment(b, "fragmentation") }

@@ -12,10 +12,12 @@
 // globally unique size (cross-file dedup, the coll-dedup potential), plus
 // a frequency histogram of duplicate chunks.
 //
-// With -cluster it instead renders a ClusterDump JSON file (written by
-// `dumpbench -cluster` or `replicad -cluster`) as the cluster telemetry
-// table: per-phase min/median/p95/max across ranks, traffic totals,
-// load-imbalance coefficients, clock spread and flagged stragglers.
+// With -cluster it instead renders a cluster telemetry JSON file
+// (written by `dumpbench -cluster` or `replicad -cluster`) as tables:
+// dump reports show per-phase min/median/p95/max across ranks, traffic
+// totals, load-imbalance coefficients, clock spread and flagged
+// stragglers; restore reports (Kind "restore") add read amplification,
+// fetch imbalance and sequential-run locality.
 package main
 
 import (
@@ -35,7 +37,7 @@ import (
 func main() {
 	chunkSize := flag.Int("chunk", chunk.DefaultSize, "fixed chunk size in bytes")
 	cdc := flag.Bool("cdc", false, "use content-defined chunking instead of fixed-size")
-	clusterIn := flag.String("cluster", "", "render this ClusterDump JSON file as a cluster telemetry table and exit")
+	clusterIn := flag.String("cluster", "", "render this cluster telemetry JSON file (dump and/or restore reports) as tables and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dedupstat [-chunk N] [-cdc] file...\n")
 		fmt.Fprintf(os.Stderr, "       dedupstat -cluster cluster.json\n")
@@ -142,22 +144,22 @@ func main() {
 	}
 }
 
-// renderCluster prints the cluster telemetry table(s) of a ClusterDump
-// JSON file: either one dump (replicad -cluster) or a map of labelled
-// dumps (dumpbench -cluster).
+// renderCluster prints the cluster telemetry table(s) of a cluster JSON
+// file: either one report (replicad -cluster) or a map of labelled
+// reports (dumpbench -cluster). Map entries may mix dump and restore
+// telemetry; the Kind discriminator tells them apart (ClusterDump and
+// ClusterRestore share too many field names for blind decoding).
 func renderCluster(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	var one telemetry.ClusterDump
-	if err := json.Unmarshal(data, &one); err == nil && one.Ranks > 0 {
-		one.WriteText(os.Stdout)
-		return nil
+	if ok, err := renderClusterReport(data); ok || err != nil {
+		return err
 	}
-	var many map[string]*telemetry.ClusterDump
+	var many map[string]json.RawMessage
 	if err := json.Unmarshal(data, &many); err != nil || len(many) == 0 {
-		return fmt.Errorf("%s holds neither a ClusterDump nor a label map", path)
+		return fmt.Errorf("%s holds neither a cluster report nor a label map", path)
 	}
 	labels := make([]string, 0, len(many))
 	for l := range many {
@@ -169,9 +171,42 @@ func renderCluster(path string) error {
 			fmt.Println()
 		}
 		fmt.Printf("== %s ==\n", l)
-		many[l].WriteText(os.Stdout)
+		ok, err := renderClusterReport(many[l])
+		if err != nil {
+			return fmt.Errorf("%s: %w", l, err)
+		}
+		if !ok {
+			return fmt.Errorf("%s: not a cluster report", l)
+		}
 	}
 	return nil
+}
+
+// renderClusterReport decodes one JSON cluster report — a ClusterRestore
+// when Kind is "restore", a ClusterDump otherwise — and prints its
+// table. Returns false when the bytes hold neither.
+func renderClusterReport(data []byte) (bool, error) {
+	var probe struct {
+		Kind  string
+		Ranks int
+	}
+	if err := json.Unmarshal(data, &probe); err != nil || probe.Ranks <= 0 {
+		return false, nil
+	}
+	if probe.Kind == "restore" {
+		var cr telemetry.ClusterRestore
+		if err := json.Unmarshal(data, &cr); err != nil {
+			return false, err
+		}
+		cr.WriteText(os.Stdout)
+		return true, nil
+	}
+	var cd telemetry.ClusterDump
+	if err := json.Unmarshal(data, &cd); err != nil {
+		return false, err
+	}
+	cd.WriteText(os.Stdout)
+	return true, nil
 }
 
 func trunc(s string, n int) string {

@@ -28,12 +28,13 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink process counts for a fast run")
 	verbose := flag.Bool("v", false, "print scenario progress to stderr")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of every scenario to this file (open in Perfetto)")
-	clusterOut := flag.String("cluster", "", "write the ClusterDump JSON of every telemetry-aggregating scenario to this file (keyed by scenario label)")
+	clusterOut := flag.String("cluster", "", "write the ClusterDump/ClusterRestore JSON of every telemetry-aggregating scenario to this file (keyed by scenario label)")
 	clusterTrace := flag.String("cluster-trace", "", "write a merged cross-rank Chrome trace (one pid per rank) of the last telemetry-aggregating scenario to this file")
+	restoreStats := flag.Bool("restore-stats", false, "print the cluster restore telemetry report of every restore-aggregating scenario (read amplification, locality, stragglers)")
 	parallelism := flag.Int("parallelism", 0, "per-rank worker budget for the dump hot path (0 = GOMAXPROCS, 1 = serial reference)")
 	timeout := flag.Duration("timeout", 0, "abort each collective scenario after this long (0 = no deadline)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dumpbench [-quick] [-v] [-parallelism n] [-trace out.json] [-cluster out.json] [-cluster-trace out.json] <experiment-id>... | all\n")
+		fmt.Fprintf(os.Stderr, "usage: dumpbench [-quick] [-v] [-parallelism n] [-trace out.json] [-cluster out.json] [-cluster-trace out.json] [-restore-stats] <experiment-id>... | all\n")
 		fmt.Fprintf(os.Stderr, "       dumpbench -list\n")
 		flag.PrintDefaults()
 	}
@@ -64,9 +65,10 @@ func main() {
 	if *traceOut != "" {
 		cfg.Trace = trace.New()
 	}
-	// Collect every ClusterDump the experiments aggregate; files are
-	// written once after all experiments ran.
-	clusters := map[string]*telemetry.ClusterDump{}
+	// Collect every ClusterDump/ClusterRestore the experiments aggregate;
+	// files are written once after all experiments ran. The JSON map mixes
+	// both kinds — the Kind field disambiguates them for dedupstat.
+	clusters := map[string]any{}
 	var lastLabel string
 	var lastRanks []telemetry.RankTrace
 	var lastCluster *telemetry.ClusterDump
@@ -74,6 +76,16 @@ func main() {
 		cfg.OnCluster = func(label string, cd *telemetry.ClusterDump, ranks []telemetry.RankTrace) {
 			clusters[label] = cd
 			lastLabel, lastCluster, lastRanks = label, cd, ranks
+		}
+	}
+	if *clusterOut != "" || *restoreStats {
+		cfg.OnClusterRestore = func(label string, cr *telemetry.ClusterRestore, ranks []telemetry.RankTrace) {
+			clusters[label] = cr
+			if *restoreStats {
+				fmt.Printf("== restore telemetry: %s ==\n", label)
+				cr.WriteText(os.Stdout)
+				fmt.Println()
+			}
 		}
 	}
 	for _, id := range ids {
@@ -101,7 +113,7 @@ func main() {
 	}
 	if *clusterOut != "" {
 		if len(clusters) == 0 {
-			fmt.Fprintf(os.Stderr, "dumpbench: -cluster set but no experiment aggregated cluster telemetry (run imbalance)\n")
+			fmt.Fprintf(os.Stderr, "dumpbench: -cluster set but no experiment aggregated cluster telemetry (run imbalance or fragmentation)\n")
 			os.Exit(1)
 		}
 		data, err := json.MarshalIndent(clusters, "", "  ")
@@ -112,7 +124,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dumpbench: write cluster dump: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %d cluster dumps to %s\n", len(clusters), *clusterOut)
+		fmt.Printf("wrote %d cluster reports to %s\n", len(clusters), *clusterOut)
 	}
 	if *clusterTrace != "" {
 		if lastRanks == nil {

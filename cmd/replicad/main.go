@@ -40,15 +40,19 @@ import (
 	"dedupcr/internal/trace"
 )
 
-// liveCluster holds the latest in-band ClusterDump for the HTTP
-// endpoints. Only rank 0 ever publishes (the gather delivers there);
-// other ranks' endpoints stay 503.
-var liveCluster atomic.Pointer[telemetry.ClusterDump]
+// liveCluster and liveRestore hold the latest in-band ClusterDump /
+// ClusterRestore for the HTTP endpoints. Only rank 0 ever publishes
+// (the gathers deliver there); other ranks' endpoints stay 503.
+var (
+	liveCluster atomic.Pointer[telemetry.ClusterDump]
+	liveRestore atomic.Pointer[telemetry.ClusterRestore]
+)
 
 // registerClusterHandlers wires the cluster telemetry endpoints onto the
-// default mux (served by the -pprof debug address): /cluster returns the
-// latest ClusterDump as JSON, /cluster/metrics as a Prometheus
-// exposition of the dedupcr_cluster_* families.
+// default mux (served by the -pprof debug address): /cluster and
+// /restore return the latest ClusterDump / ClusterRestore as JSON,
+// /cluster/metrics and /restore/metrics as Prometheus expositions of
+// the dedupcr_cluster_* and dedupcr_cluster_restore_* families.
 func registerClusterHandlers() {
 	http.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
 		cd := liveCluster.Load()
@@ -70,6 +74,26 @@ func registerClusterHandlers() {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		cd.WritePrometheus(w)
 	})
+	http.HandleFunc("/restore", func(w http.ResponseWriter, r *http.Request) {
+		cr := liveRestore.Load()
+		if cr == nil {
+			http.Error(w, "no cluster restore gathered yet (rank 0 only)", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(cr)
+	})
+	http.HandleFunc("/restore/metrics", func(w http.ResponseWriter, r *http.Request) {
+		cr := liveRestore.Load()
+		if cr == nil {
+			http.Error(w, "no cluster restore gathered yet (rank 0 only)", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		cr.WritePrometheus(w)
+	})
 }
 
 func main() {
@@ -87,11 +111,11 @@ func run() error {
 	approach := flag.String("approach", "coll", "no | local | coll")
 	name := flag.String("name", "ckpt", "dataset name")
 	chunkSize := flag.Int("chunk", 4096, "chunk size in bytes")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof plus the /cluster and /cluster/metrics telemetry endpoints on this address (e.g. localhost:6060)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof plus the /cluster and /restore telemetry endpoints (JSON and /metrics) on this address (e.g. localhost:6060)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of this rank's run to this file")
 	stats := flag.Bool("stats", false, "dump Prometheus-style counters to stderr on exit")
 	legacyPutSummary := flag.Bool("legacy-put-summary", false, "expose put latency as the old quantile summary instead of the bucketed histogram")
-	clusterOut := flag.String("cluster", "", "rank 0: write the gathered ClusterDump JSON of the dump to this file")
+	clusterOut := flag.String("cluster", "", "rank 0: write the gathered cluster telemetry JSON (ClusterDump for dump, ClusterRestore for restore) to this file")
 	timeout := flag.Duration("timeout", 0, "abort the collective operation after this long (0 = no deadline); on expiry every rank unblocks with a collective error")
 	retries := flag.Int("retries", 1, "attempts per window put; transient transport failures are retried up to this many times")
 	retryBackoff := flag.Duration("retry-backoff", 50*time.Millisecond, "sleep before the first put retry, doubling per retry")
@@ -187,7 +211,10 @@ func run() error {
 			clusterOut: *clusterOut,
 		})
 	case "restore":
-		err = doRestore(ctx, comm, store, *name, verbArgs, rec)
+		err = doRestore(ctx, comm, store, *name, verbArgs, rec, restoreOutputs{
+			stats:      *stats,
+			clusterOut: *clusterOut,
+		})
 	default:
 		return fmt.Errorf("unknown verb %q (want dump or restore)", verb)
 	}
@@ -345,19 +372,64 @@ func doDump(ctx context.Context, comm collectives.Comm, store storage.Store, opt
 	return nil
 }
 
-func doRestore(ctx context.Context, comm collectives.Comm, store storage.Store, name string, args []string, rec *trace.Recorder) error {
+// restoreOutputs bundles doRestore's reporting knobs.
+type restoreOutputs struct {
+	stats      bool
+	clusterOut string
+}
+
+func doRestore(ctx context.Context, comm collectives.Comm, store storage.Store, name string, args []string, rec *trace.Recorder, out restoreOutputs) error {
 	fs := flag.NewFlagSet("restore", flag.ExitOnError)
-	out := fs.String("out", "", "write the restored dataset to this file")
+	outFile := fs.String("out", "", "write the restored dataset to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	buf, err := core.RestoreCtxWithTrace(ctx, comm, store, name, rec)
+	res, err := core.RestoreOutputCtx(ctx, comm, store, name, rec)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("rank %d: restored %d bytes of %q\n", comm.Rank(), len(buf), name)
-	if *out != "" {
-		return os.WriteFile(*out, buf, 0o644)
+	m := res.Metrics
+	fmt.Printf("rank %d: restored %d bytes of %q (%d chunks: %d local, %d fetched from %d peers; read amp %.3fx)\n",
+		comm.Rank(), m.LogicalBytes, name, m.TotalChunks, m.LocalChunks,
+		m.FetchedChunks, m.SourceRanks, m.ReadAmplificationBytes())
+	fmt.Printf("rank %d: phases:", comm.Rank())
+	for _, pn := range metrics.RestorePhaseNames {
+		if d := m.Phases.ByName(pn); d > 0 {
+			fmt.Printf(" %s=%s", pn, metrics.Duration(d))
+		}
+	}
+	fmt.Printf(" total=%s\n", metrics.Duration(m.Phases.Total))
+	if out.stats {
+		m.WritePrometheus(os.Stderr)
+	}
+
+	// Gather the whole group's restore metrics to rank 0 in-band. As in
+	// doDump, every rank enters the collective unconditionally (a
+	// one-sided gather would hang), rank 0 publishes.
+	cr, err := telemetry.GatherClusterRestore(comm, m, telemetry.Options{})
+	if err != nil {
+		return err
+	}
+	if cr != nil {
+		liveRestore.Store(cr)
+		if out.stats {
+			fmt.Fprintln(os.Stderr)
+			cr.WriteText(os.Stderr)
+			cr.WritePrometheus(os.Stderr)
+		}
+		if out.clusterOut != "" {
+			data, err := json.MarshalIndent(cr, "", "  ")
+			if err == nil {
+				err = os.WriteFile(out.clusterOut, data, 0o644)
+			}
+			if err != nil {
+				return fmt.Errorf("write cluster restore: %w", err)
+			}
+			fmt.Printf("rank 0: wrote cluster restore of %d ranks to %s\n", cr.Ranks, out.clusterOut)
+		}
+	}
+	if *outFile != "" {
+		return os.WriteFile(*outFile, res.Data, 0o644)
 	}
 	return nil
 }

@@ -47,3 +47,40 @@ func newAudited(ranks []int) error {
 	//dedupvet:phased
 	return &collectives.CollectiveError{Ranks: ranks}
 }
+
+// restoreUnphased mirrors the restore pipeline's completion barrier:
+// blocking without publishing any restore phase first.
+func restoreUnphased(c collectives.Comm) error {
+	return collectives.Barrier(c) // want "blocking collective Barrier without a preceding NotePhase"
+}
+
+// restorePhased walks the restore pipeline's phase sequence; the barrier
+// is covered by the phases published earlier in the same function.
+func restorePhased(c collectives.Comm) error {
+	collectives.NotePhase(c, "restore-meta")
+	collectives.NotePhase(c, "assemble")
+	collectives.NotePhase(c, "restore-barrier")
+	return collectives.Barrier(c)
+}
+
+// restoreTelemetryGather mirrors GatherClusterRestore: the in-band
+// metrics gather publishes its own phase before blocking.
+func restoreTelemetryGather(c collectives.Comm, enc []byte) ([][]byte, error) {
+	collectives.NotePhase(c, "restore-telemetry")
+	return collectives.Gather(c, 0, enc)
+}
+
+// restoreTelemetryUnphased is the same gather with the phase dropped —
+// a telemetry failure would be misattributed to the preceding phase.
+func restoreTelemetryUnphased(c collectives.Comm, enc []byte) ([][]byte, error) {
+	return collectives.Gather(c, 0, enc) // want "blocking collective Gather without a preceding NotePhase"
+}
+
+// fetchServeLoop is a caller-phased helper like the fetch service's
+// serve loop: the restore pipeline already published "assemble" when the
+// fetch RPCs block.
+//
+//dedupvet:phased
+func fetchServeLoop(c collectives.Comm) error {
+	return collectives.Barrier(c)
+}

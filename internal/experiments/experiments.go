@@ -100,6 +100,12 @@ type Config struct {
 	// per scenario, labelled "<experiment>/<approach>"). dumpbench uses
 	// it to export cluster JSON and merged cross-rank traces.
 	OnCluster func(label string, cd *telemetry.ClusterDump, ranks []telemetry.RankTrace)
+	// OnClusterRestore is OnCluster's read-side twin: it receives the
+	// ClusterRestore and the per-rank restore trace slices of every
+	// scenario an experiment aggregates through the restore telemetry
+	// plane (currently the fragmentation experiment). dumpbench uses it
+	// for -restore-stats and the cluster JSON export.
+	OnClusterRestore func(label string, cr *telemetry.ClusterRestore, ranks []telemetry.RankTrace)
 }
 
 // Experiment regenerates one paper artifact.
@@ -124,6 +130,7 @@ var Registry = []Experiment{
 	// Beyond the paper: observability and ablations of the design choices.
 	{"phases", "Per-phase timing breakdown of the dump pipeline (observability)", PhasesBreakdown},
 	{"imbalance", "Cluster telemetry: cross-rank load imbalance, phase spread, stragglers (observability)", Imbalance},
+	{"fragmentation", "Restore fragmentation: read amplification and locality vs duplication degree (observability)", Fragmentation},
 	{"parallel", "Ablation: hot-path parallelism, serial vs GOMAXPROCS workers (beyond paper)", AblationParallel},
 	{"ablation-shuffle", "Ablation: partner-selection strategies (beyond paper)", AblationShuffle},
 	{"ablation-restore", "Ablation: restore cost vs node failures (beyond paper)", AblationRestore},

@@ -14,9 +14,11 @@ import (
 // writes points at the transport, a slow one with slow writes at the
 // disk.
 type Timed struct {
-	inner Store
-	read  *metrics.Histogram
-	write *metrics.Histogram
+	inner     Store
+	read      *metrics.Histogram
+	write     *metrics.Histogram
+	chunkRead *metrics.Histogram
+	blobRead  *metrics.Histogram
 }
 
 var _ Store = (*Timed)(nil)
@@ -24,15 +26,25 @@ var _ Store = (*Timed)(nil)
 // NewTimed wraps store with latency instrumentation.
 func NewTimed(store Store) *Timed {
 	return &Timed{
-		inner: store,
-		read:  metrics.NewHistogram(),
-		write: metrics.NewHistogram(),
+		inner:     store,
+		read:      metrics.NewHistogram(),
+		write:     metrics.NewHistogram(),
+		chunkRead: metrics.NewHistogram(),
+		blobRead:  metrics.NewHistogram(),
 	}
 }
 
 // ReadLatency returns the histogram of GetChunk/HasChunk/GetBlob
-// latencies in nanoseconds.
+// latencies in nanoseconds (the union of the per-object-kind splits).
 func (t *Timed) ReadLatency() *metrics.Histogram { return t.read }
+
+// ChunkReadLatency returns the histogram of GetChunk/HasChunk latencies
+// only — the restore assembly path, without the metadata-blob reads that
+// would otherwise skew the distribution.
+func (t *Timed) ChunkReadLatency() *metrics.Histogram { return t.chunkRead }
+
+// BlobReadLatency returns the histogram of GetBlob latencies only.
+func (t *Timed) BlobReadLatency() *metrics.Histogram { return t.blobRead }
 
 // WriteLatency returns the histogram of PutChunk/ReleaseChunk/PutBlob
 // latencies in nanoseconds.
@@ -48,10 +60,12 @@ func (t *Timed) timeWrite(f func() error) error {
 	return err
 }
 
-func (t *Timed) timeRead(f func() error) error {
+func (t *Timed) timeRead(kind *metrics.Histogram, f func() error) error {
 	start := time.Now()
 	err := f()
-	t.read.Record(time.Since(start).Nanoseconds())
+	ns := time.Since(start).Nanoseconds()
+	t.read.Record(ns)
+	kind.Record(ns)
 	return err
 }
 
@@ -61,13 +75,13 @@ func (t *Timed) PutChunk(fp fingerprint.FP, data []byte) error {
 
 func (t *Timed) GetChunk(fp fingerprint.FP) ([]byte, error) {
 	var data []byte
-	err := t.timeRead(func() (e error) { data, e = t.inner.GetChunk(fp); return })
+	err := t.timeRead(t.chunkRead, func() (e error) { data, e = t.inner.GetChunk(fp); return })
 	return data, err
 }
 
 func (t *Timed) HasChunk(fp fingerprint.FP) (bool, error) {
 	var ok bool
-	err := t.timeRead(func() (e error) { ok, e = t.inner.HasChunk(fp); return })
+	err := t.timeRead(t.chunkRead, func() (e error) { ok, e = t.inner.HasChunk(fp); return })
 	return ok, err
 }
 
@@ -81,7 +95,7 @@ func (t *Timed) PutBlob(name string, data []byte) error {
 
 func (t *Timed) GetBlob(name string) ([]byte, error) {
 	var data []byte
-	err := t.timeRead(func() (e error) { data, e = t.inner.GetBlob(name); return })
+	err := t.timeRead(t.blobRead, func() (e error) { data, e = t.inner.GetBlob(name); return })
 	return data, err
 }
 

@@ -10,8 +10,13 @@ import (
 
 // dumpWireVersion tags the binary layout of an encoded metrics.Dump so a
 // mixed-version group fails loudly instead of mis-decoding. Version 2
-// appended PutRetries to the fixed counter block.
-const dumpWireVersion = 2
+// appended PutRetries to the fixed counter block; version 3 introduced
+// the restore metrics family (EncodeRestore/DecodeRestore) without
+// changing the dump layout, so v2 dump encodings still decode.
+const (
+	dumpWireVersion   = 3
+	dumpWireVersionV2 = 2
+)
 
 // EncodeDump serializes one rank's dump metrics for the in-band gather:
 // a version byte, the fixed counters and phase durations as big-endian
@@ -86,8 +91,9 @@ func DecodeDump(data []byte) (metrics.Dump, error) {
 	if len(data) == 0 {
 		return d, fmt.Errorf("telemetry: empty dump encoding")
 	}
-	if data[0] != dumpWireVersion {
-		return d, fmt.Errorf("telemetry: dump wire version %d, want %d", data[0], dumpWireVersion)
+	if data[0] != dumpWireVersion && data[0] != dumpWireVersionV2 {
+		return d, fmt.Errorf("telemetry: dump wire version %d, want %d or %d",
+			data[0], dumpWireVersionV2, dumpWireVersion)
 	}
 	data = data[1:]
 	fail := func() (metrics.Dump, error) {
