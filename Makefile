@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet dedupvet lint fmt fuzz-smoke bench
+.PHONY: all build test race vet dedupvet lint fmt fuzz-smoke bench crash-consistency
 
 all: build vet test
 
@@ -38,6 +38,14 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeDump -fuzztime 30s ./internal/telemetry
 	$(GO) test -run '^$$' -fuzz FuzzRestoreMetricsDecode -fuzztime 30s ./internal/telemetry
 	$(GO) test -run '^$$' -fuzz FuzzHybridMetaUnmarshal -fuzztime 30s ./internal/hybrid
+	$(GO) test -run '^$$' -fuzz FuzzSegmentIndexDecode -fuzztime 30s ./internal/storage
+	$(GO) test -run '^$$' -fuzz FuzzManifestDecode -fuzztime 30s ./internal/storage
 
 bench:
 	DEDUPCR_QUICK=1 $(GO) test -bench . -benchtime 1x -run '^$$'
+
+# Kill-and-recover matrix for the segment engine: a helper process is
+# killed at every fault-injection point and the store must reopen to the
+# last committed checkpoint byte-identically.
+crash-consistency:
+	$(GO) test ./internal/storage/ -run 'TestCrashMatrix' -count=1 -v

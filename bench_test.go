@@ -17,6 +17,8 @@ import (
 	"testing"
 
 	"dedupcr/internal/experiments"
+	"dedupcr/internal/fingerprint"
+	"dedupcr/internal/storage"
 )
 
 func benchConfig() experiments.Config {
@@ -91,3 +93,99 @@ func BenchmarkFig5cCM1Shuffle(b *testing.B) { runExperiment(b, "fig5c") }
 // sweep — gating the restore hot path (recipe walk, fetch service,
 // telemetry gather) against regressions.
 func BenchmarkRestoreFragmentation(b *testing.B) { runExperiment(b, "fragmentation") }
+
+// Segment-engine micro-benchmarks gate the persistent store's two hot
+// paths: the checkpoint write path (append + seal + commit) and the
+// recovery path (manifest replay + index decode + chunk reads).
+
+const (
+	benchSegChunks    = 512
+	benchSegChunkSize = 4096
+)
+
+// benchSegData returns deterministic distinct chunk payloads.
+func benchSegData() [][]byte {
+	chunks := make([][]byte, benchSegChunks)
+	for i := range chunks {
+		data := make([]byte, benchSegChunkSize)
+		for j := range data {
+			data[j] = byte(i*31 + j*7)
+		}
+		chunks[i] = data
+	}
+	return chunks
+}
+
+// BenchmarkSegmentAppend measures a full checkpoint write through the
+// segment engine: 512 distinct 4 KiB chunks appended across ~8 sealed
+// segments, then committed and durably closed.
+func BenchmarkSegmentAppend(b *testing.B) {
+	chunks := benchSegData()
+	b.SetBytes(benchSegChunks * benchSegChunkSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		b.StartTimer()
+		s, err := storage.NewSegStore(dir, storage.SegConfig{SegmentTarget: 256 << 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, data := range chunks {
+			if err := s.PutChunk(fingerprint.Of(data), data); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSegmentRestore measures crash-recovery plus a full read-back:
+// each iteration reopens a committed store (manifest replay, per-segment
+// index decode and checksum verification) and fetches every chunk.
+func BenchmarkSegmentRestore(b *testing.B) {
+	chunks := benchSegData()
+	dir := b.TempDir()
+	s, err := storage.NewSegStore(dir, storage.SegConfig{SegmentTarget: 256 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fps := make([]fingerprint.FP, len(chunks))
+	for i, data := range chunks {
+		fps[i] = fingerprint.Of(data)
+		if err := s.PutChunk(fps[i], data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(benchSegChunks * benchSegChunkSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := storage.NewSegStore(dir, storage.SegConfig{SegmentTarget: 256 << 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, fp := range fps {
+			data, err := s.GetChunk(fp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(data) != len(chunks[j]) {
+				b.Fatalf("chunk %d: %d bytes", j, len(data))
+			}
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

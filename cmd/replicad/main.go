@@ -40,12 +40,14 @@ import (
 	"dedupcr/internal/trace"
 )
 
-// liveCluster and liveRestore hold the latest in-band ClusterDump /
-// ClusterRestore for the HTTP endpoints. Only rank 0 ever publishes
-// (the gathers deliver there); other ranks' endpoints stay 503.
+// liveCluster, liveRestore and liveStore hold the latest in-band
+// ClusterDump / ClusterRestore / ClusterStore for the HTTP endpoints.
+// Only rank 0 ever publishes (the gathers deliver there); other ranks'
+// endpoints stay 503.
 var (
 	liveCluster atomic.Pointer[telemetry.ClusterDump]
 	liveRestore atomic.Pointer[telemetry.ClusterRestore]
+	liveStore   atomic.Pointer[telemetry.ClusterStore]
 )
 
 // registerClusterHandlers wires the cluster telemetry endpoints onto the
@@ -94,6 +96,26 @@ func registerClusterHandlers() {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		cr.WritePrometheus(w)
 	})
+	http.HandleFunc("/store", func(w http.ResponseWriter, r *http.Request) {
+		cs := liveStore.Load()
+		if cs == nil {
+			http.Error(w, "no cluster store stats gathered yet (rank 0 only)", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(cs)
+	})
+	http.HandleFunc("/store/metrics", func(w http.ResponseWriter, r *http.Request) {
+		cs := liveStore.Load()
+		if cs == nil {
+			http.Error(w, "no cluster store stats gathered yet (rank 0 only)", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		cs.WritePrometheus(w)
+	})
 }
 
 func main() {
@@ -107,6 +129,7 @@ func run() error {
 	rank := flag.Int("rank", -1, "this process's rank")
 	hosts := flag.String("hosts", "", "host file: one host:port per line, line i = rank i")
 	storeDir := flag.String("store", "", "local store directory (default: in-memory)")
+	engine := flag.String("engine", "auto", "store engine: auto | mem | disk | seg (auto = seg when -store is set, mem otherwise; disk is the flat one-file-per-chunk engine)")
 	k := flag.Int("k", 3, "replication factor")
 	approach := flag.String("approach", "coll", "no | local | coll")
 	name := flag.String("name", "ckpt", "dataset name")
@@ -148,13 +171,39 @@ func run() error {
 	}
 
 	var store storage.Store
-	if *storeDir != "" {
+	eng := *engine
+	if eng == "auto" {
+		if *storeDir != "" {
+			eng = "seg"
+		} else {
+			eng = "mem"
+		}
+	}
+	switch eng {
+	case "mem":
+		store = storage.NewMem()
+	case "disk":
+		if *storeDir == "" {
+			return fmt.Errorf("-engine disk needs -store DIR")
+		}
 		store, err = storage.NewDisk(*storeDir)
 		if err != nil {
 			return err
 		}
-	} else {
-		store = storage.NewMem()
+	case "seg":
+		if *storeDir == "" {
+			return fmt.Errorf("-engine seg needs -store DIR")
+		}
+		seg, serr := storage.NewSegStore(*storeDir, storage.SegConfig{AutoCompact: true})
+		if serr != nil {
+			return serr
+		}
+		// Close seals and commits whatever the run left uncommitted and
+		// stops the background compactor before the process exits.
+		defer seg.Close()
+		store = seg
+	default:
+		return fmt.Errorf("unknown engine %q (want auto, mem, disk or seg)", *engine)
 	}
 	// With -stats, every store operation's latency is histogrammed so the
 	// exit dump can report device-side quantiles next to the phase times.
@@ -224,6 +273,10 @@ func run() error {
 	if *stats {
 		writeCommStats(os.Stderr, *rank, comm.Stats())
 		writeStoreStats(os.Stderr, *rank, timed)
+		if ss, ok := storage.SegStatsOf(store); ok {
+			ss.Rank = *rank
+			ss.WritePrometheus(os.Stderr)
+		}
 	}
 	if tr != nil {
 		if err := tr.WriteFile(*traceOut); err != nil {
@@ -367,6 +420,25 @@ func doDump(ctx context.Context, comm collectives.Comm, store storage.Store, opt
 				return fmt.Errorf("write cluster dump: %w", err)
 			}
 			fmt.Printf("rank 0: wrote cluster dump of %d ranks to %s\n", cd.Ranks, out.clusterOut)
+		}
+	}
+
+	// Gather the storage-plane view the same way. Every rank enters
+	// unconditionally — ranks on non-segment engines contribute the zero
+	// snapshot (SegStatsOf reports ok=false), so mixed-engine groups
+	// still converge.
+	ss, _ := storage.SegStatsOf(store)
+	ss.Rank = comm.Rank()
+	cs, err := telemetry.GatherClusterStore(comm, ss)
+	if err != nil {
+		return err
+	}
+	if cs != nil {
+		liveStore.Store(cs)
+		if out.stats && cs.Total.Segments > 0 {
+			fmt.Fprintln(os.Stderr)
+			cs.WriteText(os.Stderr)
+			cs.WritePrometheus(os.Stderr)
 		}
 	}
 	return nil

@@ -1,0 +1,156 @@
+// Command segstat drives the segment store through a synthetic
+// checkpoint churn workload — repeated dumps with partial overlap,
+// retiring old checkpoints as new ones commit — and reports the
+// resulting compaction statistics as JSON. CI runs it in the bench job
+// and uploads the report as the compaction-stats artifact, so reclaim
+// behaviour is visible per commit without digging through test logs.
+//
+//	segstat -checkpoints 12 -chunks 256 -chunk-size 4096 -overlap 0.5 -o stats.json
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"dedupcr/internal/fingerprint"
+	"dedupcr/internal/metrics"
+	"dedupcr/internal/storage"
+)
+
+// report is the JSON document segstat emits: the workload's shape, the
+// store's final counters, and the derived ratios the CI gate and humans
+// care about.
+type report struct {
+	Checkpoints int     `json:"checkpoints"`
+	ChunksPer   int     `json:"chunks_per_checkpoint"`
+	ChunkSize   int     `json:"chunk_size"`
+	Overlap     float64 `json:"overlap"`
+	Keep        int     `json:"keep"`
+	Retain      float64 `json:"retain"`
+
+	Stats        metrics.StoreStats `json:"stats"`
+	GarbageRatio float64            `json:"garbage_ratio"`
+	ReclaimRatio float64            `json:"reclaim_ratio"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "segstat: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dir := flag.String("dir", "", "store directory (default: a fresh temp dir, removed on exit)")
+	checkpoints := flag.Int("checkpoints", 12, "checkpoints to dump")
+	chunks := flag.Int("chunks", 256, "chunks per checkpoint")
+	chunkSize := flag.Int("chunk-size", 4096, "bytes per chunk")
+	overlap := flag.Float64("overlap", 0.5, "fraction of each checkpoint's chunks carried over unchanged from the previous one")
+	keep := flag.Int("keep", 2, "checkpoints retained; older ones are released (forgotten) as the window advances")
+	retain := flag.Float64("retain", 0.1, "fraction of a retired checkpoint's chunks kept alive anyway (models chunks shared outside the window); these force compaction to copy instead of just dropping whole segments")
+	segTarget := flag.Int64("segment-target", 64<<10, "segment seal threshold in bytes")
+	out := flag.String("o", "", "write the JSON report to this file (default: stdout)")
+	flag.Parse()
+
+	root := *dir
+	if root == "" {
+		tmp, err := os.MkdirTemp("", "segstat-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		root = tmp
+	}
+
+	// Manual compaction keeps the run deterministic: churn, then compact,
+	// then report — no race with a background sweeper.
+	st, err := storage.NewSegStore(root, storage.SegConfig{SegmentTarget: *segTarget})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	rng := rand.New(rand.NewSource(1))
+	carried := int(float64(*chunks) * *overlap)
+	var prev []fingerprint.FP // previous checkpoint's chunk set
+	window := make([][]fingerprint.FP, 0, *keep)
+	buf := make([]byte, *chunkSize)
+	for ck := 0; ck < *checkpoints; ck++ {
+		cur := make([]fingerprint.FP, 0, *chunks)
+		for i := 0; i < *chunks; i++ {
+			if i < carried && i < len(prev) {
+				// Carried chunk: same content as last checkpoint, so the
+				// put dedups into a refcount bump — the paper's natural
+				// inter-checkpoint redundancy.
+				fp := prev[i]
+				if err := st.PutChunk(fp, nil); err != nil {
+					return fmt.Errorf("checkpoint %d dedup put: %w", ck, err)
+				}
+				cur = append(cur, fp)
+				continue
+			}
+			rng.Read(buf)
+			binary.BigEndian.PutUint64(buf, uint64(ck)<<32|uint64(i))
+			fp := fingerprint.Of(buf)
+			if err := st.PutChunk(fp, buf); err != nil {
+				return fmt.Errorf("checkpoint %d put: %w", ck, err)
+			}
+			cur = append(cur, fp)
+		}
+		if err := st.Commit(); err != nil {
+			return fmt.Errorf("checkpoint %d commit: %w", ck, err)
+		}
+		prev = cur
+		window = append(window, cur)
+		if len(window) > *keep {
+			oldest := window[0]
+			window = window[1:]
+			for _, fp := range oldest {
+				if rng.Float64() < *retain {
+					continue
+				}
+				if err := st.ReleaseChunk(fp); err != nil {
+					return fmt.Errorf("checkpoint %d release: %w", ck, err)
+				}
+			}
+			if err := st.Commit(); err != nil {
+				return fmt.Errorf("checkpoint %d release commit: %w", ck, err)
+			}
+			if _, err := st.Compact(); err != nil {
+				return fmt.Errorf("checkpoint %d compact: %w", ck, err)
+			}
+		}
+	}
+	// Final sweep so the report reflects a settled store.
+	if _, err := st.Compact(); err != nil {
+		return fmt.Errorf("final compact: %w", err)
+	}
+
+	stats := st.Stats()
+	rep := report{
+		Checkpoints: *checkpoints, ChunksPer: *chunks, ChunkSize: *chunkSize,
+		Overlap: *overlap, Keep: *keep, Retain: *retain,
+		Stats:        stats,
+		GarbageRatio: stats.GarbageRatio(),
+		ReclaimRatio: stats.ReclaimRatio(),
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("segstat: %d checkpoints, reclaim ratio %.3f, garbage ratio %.3f -> %s\n",
+		*checkpoints, rep.ReclaimRatio, rep.GarbageRatio, *out)
+	return nil
+}

@@ -67,8 +67,17 @@ type (
 // NewMemStore returns an in-memory node-local store.
 func NewMemStore() Store { return storage.NewMem() }
 
-// NewDiskStore opens a disk-backed node-local store rooted at dir.
+// NewDiskStore opens a disk-backed node-local store rooted at dir (the
+// flat one-file-per-chunk engine).
 func NewDiskStore(dir string) (Store, error) { return storage.NewDisk(dir) }
+
+// NewSegStore opens the log-structured segment store rooted at dir:
+// chunks append into segments, checkpoints become durable atomically at
+// commit points, and a background compactor reclaims released space.
+// Close it to seal, commit and stop the compactor.
+func NewSegStore(dir string) (*storage.SegStore, error) {
+	return storage.NewSegStore(dir, storage.SegConfig{AutoCompact: true})
+}
 
 // NewCluster creates n in-memory node stores.
 func NewCluster(n int) *Cluster { return storage.NewCluster(n) }

@@ -360,6 +360,14 @@ func dumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options, 
 		if err := persistMeta(c, store, o, recipe, hints); err != nil {
 			return fmt.Errorf("rank %d persist meta: %w", me, err)
 		}
+		// Checkpoint-grained durability point: on commit-aware engines
+		// (the segment store) this seals the active segment and publishes
+		// the manifest atomically, so the whole dump becomes durable as
+		// one unit — a crash after this line reopens to this checkpoint, a
+		// crash before it to the previous one, never to a torn mix.
+		if err := storage.Commit(store); err != nil {
+			return fmt.Errorf("rank %d store commit: %w", me, err)
+		}
 		return nil
 	}()
 	done()

@@ -67,6 +67,9 @@ func rollbackDump(store storage.Store, name string, rank, n, k int, refs []finge
 	for d := 1; d < k; d++ {
 		_ = store.PutBlob(metaName(name, (rank-d+n)%n), nil)
 	}
+	// Make the rollback itself durable on commit-aware engines, so a
+	// crash right after an aborted dump does not resurrect its refs.
+	_ = storage.Commit(store)
 }
 
 // Forget releases this node's storage for a dataset dumped earlier under
@@ -100,5 +103,11 @@ func Forget(store storage.Store, name string, rank int) error {
 	if err := store.PutBlob(gcName(name, rank), nil); err != nil {
 		return err
 	}
-	return store.PutBlob(metaName(name, rank), nil)
+	if err := store.PutBlob(metaName(name, rank), nil); err != nil {
+		return err
+	}
+	// Persist the releases and tombstones as one durable step on
+	// commit-aware engines; this is also what turns the released chunks
+	// into compactable garbage in the segment store.
+	return storage.Commit(store)
 }

@@ -208,6 +208,10 @@ func RestoreOutput(c collectives.Comm, store storage.Store, name string, rec *tr
 			return nil, err
 		}
 	}
+	// Best-effort durability for the re-provisioned chunks and metadata
+	// on commit-aware engines: losing them to a crash only costs a
+	// re-fetch on the next restore, so errors don't fail the restore.
+	_ = storage.Commit(timed)
 	m.Phases.Commit = time.Since(phaseStart)
 	commitSpan.End()
 

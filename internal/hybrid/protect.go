@@ -185,6 +185,11 @@ func Protect(c collectives.Comm, store storage.Store, buf []byte, o Options) (*R
 			return nil, err
 		}
 	}
+	// Durability point before the completion barrier: once any rank exits
+	// the barrier, every rank's checkpoint is already crash-safe.
+	if err := storage.Commit(store); err != nil {
+		return nil, fmt.Errorf("rank %d store commit: %w", me, err)
+	}
 	if err := collectives.Barrier(c); err != nil {
 		return nil, fmt.Errorf("rank %d barrier: %w", me, err)
 	}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestStoreStatsRatios(t *testing.T) {
+	var zero StoreStats
+	if zero.GarbageRatio() != 0 {
+		t.Errorf("empty store GarbageRatio = %v", zero.GarbageRatio())
+	}
+	if zero.ReclaimRatio() != 1 {
+		t.Errorf("never-tombstoned store ReclaimRatio = %v, want 1", zero.ReclaimRatio())
+	}
+	s := StoreStats{DataBytes: 4000, GarbageBytes: 1000, TombstonedBytes: 2000, ReclaimedBytes: 1800}
+	if s.GarbageRatio() != 0.25 {
+		t.Errorf("GarbageRatio = %v, want 0.25", s.GarbageRatio())
+	}
+	if s.ReclaimRatio() != 0.9 {
+		t.Errorf("ReclaimRatio = %v, want 0.9", s.ReclaimRatio())
+	}
+}
+
+func TestStoreStatsAdd(t *testing.T) {
+	a := StoreStats{Rank: 0, Segments: 2, LiveBytes: 100, Gen: 7, Commits: 3, TombstonedBytes: 10}
+	b := StoreStats{Rank: 1, Segments: 3, LiveBytes: 50, Gen: 4, Commits: 1, TombstonedBytes: 5}
+	a.Add(b)
+	if a.Rank != 0 {
+		t.Errorf("Add changed Rank to %d", a.Rank)
+	}
+	if a.Segments != 5 || a.LiveBytes != 150 || a.Commits != 4 || a.TombstonedBytes != 15 {
+		t.Errorf("sums wrong: %+v", a)
+	}
+	// Gen is a high-water mark, not a sum: the cluster's committed
+	// generation is the newest any rank has reached.
+	if a.Gen != 7 {
+		t.Errorf("Gen = %d, want max 7", a.Gen)
+	}
+	a.Add(StoreStats{Gen: 9})
+	if a.Gen != 9 {
+		t.Errorf("Gen = %d after newer peer, want 9", a.Gen)
+	}
+}
+
+func TestStoreStatsExpositionWellFormed(t *testing.T) {
+	s := StoreStats{
+		Rank: 3, Segments: 5, SealedSegments: 4, LiveChunks: 120, LiveBytes: 480_000,
+		DataBytes: 520_000, GarbageBytes: 40_000, Gen: 6,
+		Seals: 9, Commits: 6, Compactions: 2, SegmentsCompacted: 3,
+		TombstonedBytes: 60_000, ReclaimedBytes: 20_000, CopiedBytes: 8_192, CopiedChunks: 2,
+	}
+	var buf bytes.Buffer
+	s.WritePrometheus(&buf)
+	if err := CheckExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("store exposition malformed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`dedupcr_store_segments{rank="3"} 5`,
+		`dedupcr_store_garbage_bytes{rank="3"} 40000`,
+		`dedupcr_store_manifest_generation{rank="3"} 6`,
+		`dedupcr_store_commits_total{rank="3"} 6`,
+		`dedupcr_store_reclaimed_bytes_total{rank="3"} 20000`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	s.WriteText(&buf)
+	for _, want := range []string{"store rank 3", "5 segments (4 sealed)", "2 compactions"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, buf.String())
+		}
+	}
+}

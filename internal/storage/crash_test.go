@@ -1,0 +1,242 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"testing"
+
+	"dedupcr/internal/fingerprint"
+)
+
+// Crash-consistency matrix: for every injection point in the engine's
+// write paths, a helper process is killed (os.Exit, no cleanup — the
+// moral equivalent of kill -9 for fs state) exactly there, and the
+// parent asserts the reopened store is byte-identical to the last
+// committed checkpoint — never a torn mix.
+//
+// The helper runs two phases over the same directory:
+//
+//	phase 1 (unarmed): checkpoint 1 — chunks ck1:0..31, a metadata
+//	    blob, Commit, Close. This is the durable baseline.
+//	phase 2 (armed with the point under test): chunks ck2:0..15, a
+//	    blob, release ck1:0..19, Commit, Compact. The injected crash
+//	    fires somewhere in here.
+//
+// Points firing before the phase-2 manifest rename must reopen to
+// checkpoint 1 exactly; points firing during compaction (after the
+// phase-2 commit) must reopen to the committed phase-2 state.
+
+const (
+	crashEnvHelper = "DEDUPCR_CRASH_HELPER"
+	crashEnvPoint  = "DEDUPCR_SEG_CRASHPOINT"
+	crashEnvDir    = "DEDUPCR_CRASH_DIR"
+	crashEnvOp     = "DEDUPCR_CRASH_OP"
+
+	ck1Chunks   = 32
+	ck2Chunks   = 16
+	ck1Released = 20
+	crashChunk  = 1024
+)
+
+func ck1Data(i int) []byte { return segChunk(i, crashChunk) }
+func ck2Data(i int) []byte { return segChunk(1000+i, crashChunk) }
+
+// ck1Dropped reports whether phase 2 releases ck1 chunk i. Every fourth
+// chunk in the retired window survives so each compaction victim keeps
+// a live row — that forces the copy-and-reindex path (and its
+// compact-idx-rename injection point) instead of whole-segment deletes.
+func ck1Dropped(i int) bool { return i < ck1Released && i%4 != 3 }
+
+// TestCrashHelper is the subprocess body; a no-op unless re-executed by
+// TestCrashMatrix with the helper environment set.
+func TestCrashHelper(t *testing.T) {
+	if os.Getenv(crashEnvHelper) != "1" {
+		t.Skip("crash-matrix helper; run via TestCrashMatrix")
+	}
+	dir := os.Getenv(crashEnvDir)
+	point := os.Getenv(crashEnvPoint)
+	cfg := SegConfig{SegmentTarget: 4 << 10}
+
+	// Phase 1, unarmed: the committed baseline.
+	s, err := NewSegStore(dir, cfg)
+	if err != nil {
+		t.Fatalf("phase 1 open: %v", err)
+	}
+	for i := 0; i < ck1Chunks; i++ {
+		if err := s.PutChunk(fingerprint.Of(ck1Data(i)), ck1Data(i)); err != nil {
+			t.Fatalf("phase 1 put %d: %v", i, err)
+		}
+	}
+	if err := s.PutBlob("ck1/meta", []byte("ck1")); err != nil {
+		t.Fatalf("phase 1 blob: %v", err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatalf("phase 1 commit: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("phase 1 close: %v", err)
+	}
+
+	// Phase 2, armed: the store kills itself at the configured point.
+	cfg.CrashPoint = point
+	s2, err := NewSegStore(dir, cfg)
+	if err != nil {
+		t.Fatalf("phase 2 open: %v", err)
+	}
+	for i := 0; i < ck2Chunks; i++ {
+		if err := s2.PutChunk(fingerprint.Of(ck2Data(i)), ck2Data(i)); err != nil {
+			t.Fatalf("phase 2 put %d: %v", i, err)
+		}
+	}
+	if err := s2.PutBlob("ck2/meta", []byte("ck2")); err != nil {
+		t.Fatalf("phase 2 blob: %v", err)
+	}
+	for i := 0; i < ck1Chunks; i++ {
+		if !ck1Dropped(i) {
+			continue
+		}
+		if err := s2.ReleaseChunk(fingerprint.Of(ck1Data(i))); err != nil {
+			t.Fatalf("phase 2 release %d: %v", i, err)
+		}
+	}
+	if os.Getenv(crashEnvOp) == "close" {
+		s2.Close()
+	} else {
+		if err := s2.Commit(); err != nil {
+			t.Fatalf("phase 2 commit: %v", err)
+		}
+		if _, err := s2.Compact(); err != nil {
+			t.Fatalf("phase 2 compact: %v", err)
+		}
+	}
+	// Reaching here means the injection point never fired; the parent
+	// treats any exit status other than crashExitCode as a failure.
+	fmt.Fprintf(os.Stderr, "crash helper: point %q never reached\n", point)
+}
+
+func TestCrashMatrix(t *testing.T) {
+	if os.Getenv(crashEnvHelper) == "1" {
+		t.Skip("inside helper")
+	}
+	// expect: the state the reopened store must show. "ck1" = checkpoint
+	// 1 exactly (phase 2 fully lost); "ck2" = the committed phase-2
+	// state (releases applied, ck2 chunks live).
+	cases := []struct {
+		point  string
+		op     string // "" = commit+compact, "close" = Close
+		expect string
+	}{
+		{point: "torn-append", expect: "ck1"},
+		{point: "append", expect: "ck1"},
+		{point: "seal", expect: "ck1"},
+		{point: "idx-rename", expect: "ck1"},
+		{point: "blob-rename", expect: "ck1"},
+		{point: "commit", expect: "ck1"},
+		{point: "manifest-rename", expect: "ck1"},
+		{point: "close-commit", op: "close", expect: "ck1"},
+		{point: "compact-idx-rename", expect: "ck2"},
+		{point: "compact", expect: "ck2"},
+		{point: "compact-manifest-rename", expect: "ck2"},
+		{point: "compact-cleanup", expect: "ck2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.point, func(t *testing.T) {
+			dir := t.TempDir()
+			cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashHelper$", "-test.v")
+			cmd.Env = append(os.Environ(),
+				crashEnvHelper+"=1",
+				crashEnvPoint+"="+tc.point,
+				crashEnvDir+"="+dir,
+				crashEnvOp+"="+tc.op,
+			)
+			out, err := cmd.CombinedOutput()
+			var ee *exec.ExitError
+			if !errors.As(err, &ee) || ee.ExitCode() != crashExitCode {
+				t.Fatalf("helper exited %v, want crash exit %d; output:\n%s", err, crashExitCode, out)
+			}
+			verifyAfterCrash(t, dir, tc.expect)
+		})
+	}
+}
+
+// verifyAfterCrash reopens the killed store and asserts it recovered to
+// the expected committed checkpoint, byte for byte.
+func verifyAfterCrash(t *testing.T, dir, expect string) {
+	t.Helper()
+	s, err := NewSegStore(dir, SegConfig{SegmentTarget: 4 << 10})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer s.Close()
+
+	mustHave := func(label string, data []byte) {
+		t.Helper()
+		got, err := s.GetChunk(fingerprint.Of(data))
+		if err != nil {
+			t.Fatalf("%s missing after recovery: %v", label, err)
+		}
+		if string(got) != string(data) {
+			t.Fatalf("%s not byte-identical after recovery", label)
+		}
+	}
+	mustLack := func(label string, data []byte) {
+		t.Helper()
+		if ok, err := s.HasChunk(fingerprint.Of(data)); err != nil || ok {
+			t.Fatalf("%s present after recovery (ok=%v err=%v)", label, ok, err)
+		}
+	}
+
+	switch expect {
+	case "ck1":
+		for i := 0; i < ck1Chunks; i++ {
+			mustHave(fmt.Sprintf("ck1 chunk %d", i), ck1Data(i))
+		}
+		for i := 0; i < ck2Chunks; i++ {
+			mustLack(fmt.Sprintf("uncommitted ck2 chunk %d", i), ck2Data(i))
+		}
+		if b, err := s.GetBlob("ck1/meta"); err != nil || string(b) != "ck1" {
+			t.Fatalf("ck1 blob after recovery: %q, %v", b, err)
+		}
+		if _, chunks := s.Usage(); chunks != ck1Chunks {
+			t.Fatalf("recovered store has %d chunks, want %d", chunks, ck1Chunks)
+		}
+	case "ck2":
+		dropped := 0
+		for i := 0; i < ck1Chunks; i++ {
+			if ck1Dropped(i) {
+				dropped++
+				mustLack(fmt.Sprintf("released ck1 chunk %d", i), ck1Data(i))
+			} else {
+				mustHave(fmt.Sprintf("surviving ck1 chunk %d", i), ck1Data(i))
+			}
+		}
+		for i := 0; i < ck2Chunks; i++ {
+			mustHave(fmt.Sprintf("ck2 chunk %d", i), ck2Data(i))
+		}
+		for _, name := range []string{"ck1/meta", "ck2/meta"} {
+			if _, err := s.GetBlob(name); err != nil {
+				t.Fatalf("blob %s after recovery: %v", name, err)
+			}
+		}
+		if _, chunks := s.Usage(); chunks != ck1Chunks-dropped+ck2Chunks {
+			t.Fatalf("recovered store has %d chunks, want %d", chunks, ck1Chunks-dropped+ck2Chunks)
+		}
+	default:
+		t.Fatalf("unknown expectation %q", expect)
+	}
+
+	// The recovered store must stay fully operational: another
+	// checkpoint must commit, survive a reopen, and compact cleanly.
+	probe := segChunk(9999, crashChunk)
+	if err := s.PutChunk(fingerprint.Of(probe), probe); err != nil {
+		t.Fatalf("put after recovery: %v", err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatalf("commit after recovery: %v", err)
+	}
+	if _, err := s.Compact(); err != nil {
+		t.Fatalf("compact after recovery: %v", err)
+	}
+}

@@ -12,10 +12,14 @@ import (
 
 // diskStore is a Store backed by a directory on a real local device, used
 // by the socket-transport daemon and examples. Chunks live under
-// dir/chunks/<hex fp>; metadata blobs under dir/blobs/<name>.
+// dir/chunks/<hex fp>; metadata blobs under dir/blobs/<name>. Every
+// write goes through atomicWriteFile (temp + fsync + rename + dir
+// fsync), so a crash mid-write never leaves a torn chunk or blob
+// behind — only a stale .tmp that reopening sweeps away.
 type diskStore struct {
 	mu     sync.Mutex
 	dir    string
+	blob   fileBlobs
 	refs   map[fingerprint.FP]int // guarded by mu
 	bytes  int64                  // guarded by mu
 	count  int                    // guarded by mu
@@ -34,7 +38,13 @@ func NewDisk(dir string) (Store, error) {
 			return nil, fmt.Errorf("storage: create %s: %w", sub, err)
 		}
 	}
-	s := &diskStore{dir: dir, refs: make(map[fingerprint.FP]int)}
+	sweepTmp(filepath.Join(dir, "chunks"))
+	sweepTmp(filepath.Join(dir, "blobs"))
+	s := &diskStore{
+		dir:  dir,
+		blob: fileBlobs{dir: filepath.Join(dir, "blobs")},
+		refs: make(map[fingerprint.FP]int),
+	}
 	entries, err := os.ReadDir(filepath.Join(dir, "chunks"))
 	if err != nil {
 		return nil, err
@@ -71,7 +81,7 @@ func (s *diskStore) PutChunk(fp fingerprint.FP, data []byte) error {
 		s.refs[fp] = n + 1
 		return nil
 	}
-	if err := os.WriteFile(s.chunkPath(fp), data, 0o644); err != nil {
+	if err := atomicWriteFile(s.chunkPath(fp), data, 0o644, nil, ""); err != nil {
 		return fmt.Errorf("storage: write chunk %s: %w", fp.Short(), err)
 	}
 	s.refs[fp] = 1
@@ -132,25 +142,13 @@ func (s *diskStore) ReleaseChunk(fp fingerprint.FP) error {
 	return nil
 }
 
-// Blob names may contain '/' separators; they map to subdirectories.
-func (s *diskStore) blobPath(name string) string {
-	return filepath.Join(s.dir, "blobs", filepath.FromSlash(name))
-}
-
 func (s *diskStore) PutBlob(name string, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.failed {
 		return ErrFailed
 	}
-	path := s.blobPath(name)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return fmt.Errorf("storage: blob dir for %q: %w", name, err)
-	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return fmt.Errorf("storage: write blob %q: %w", name, err)
-	}
-	return nil
+	return s.blob.put(name, data)
 }
 
 func (s *diskStore) GetBlob(name string) ([]byte, error) {
@@ -159,14 +157,7 @@ func (s *diskStore) GetBlob(name string) ([]byte, error) {
 	if s.failed {
 		return nil, ErrFailed
 	}
-	buf, err := os.ReadFile(s.blobPath(name))
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, fmt.Errorf("blob %q: %w", name, ErrNotFound)
-		}
-		return nil, err
-	}
-	return buf, nil
+	return s.blob.get(name)
 }
 
 func (s *diskStore) Usage() (int64, int) {

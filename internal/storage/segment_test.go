@@ -1,0 +1,438 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dedupcr/internal/fingerprint"
+)
+
+// segChunk builds deterministic chunk content for index i.
+func segChunk(i, size int) []byte {
+	buf := make([]byte, size)
+	for j := range buf {
+		buf[j] = byte(i*131 + j*7)
+	}
+	buf[0] = byte(i)
+	buf[1] = byte(i >> 8)
+	return buf
+}
+
+// openSeg opens a segment store with a small seal threshold so tests
+// exercise multi-segment layouts without large writes.
+func openSeg(t *testing.T, dir string) *SegStore {
+	t.Helper()
+	s, err := NewSegStore(dir, SegConfig{SegmentTarget: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSegReopenRestoresCommittedState(t *testing.T) {
+	dir := t.TempDir()
+	s := openSeg(t, dir)
+	const n = 32
+	for i := 0; i < n; i++ {
+		data := segChunk(i, 1024)
+		if err := s.PutChunk(fingerprint.Of(data), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.PutBlob("ds/meta", []byte("recipe")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, wantChunks := s.Usage()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openSeg(t, dir)
+	defer r.Close()
+	gotBytes, gotChunks := r.Usage()
+	if gotBytes != wantBytes || gotChunks != wantChunks {
+		t.Fatalf("reopened usage = %d/%d, want %d/%d", gotBytes, gotChunks, wantBytes, wantChunks)
+	}
+	for i := 0; i < n; i++ {
+		data := segChunk(i, 1024)
+		got, err := r.GetChunk(fingerprint.Of(data))
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("chunk %d not byte-identical after reopen", i)
+		}
+	}
+	blob, err := r.GetBlob("ds/meta")
+	if err != nil || !bytes.Equal(blob, []byte("recipe")) {
+		t.Fatalf("blob after reopen = %q, %v", blob, err)
+	}
+}
+
+func TestSegUncommittedInvisibleAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openSeg(t, dir)
+	committed := segChunk(0, 1024)
+	if err := s.PutChunk(fingerprint.Of(committed), committed); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Appended after the commit and never committed: spans both the
+	// unsealed tail and (because of the small target) auto-sealed but
+	// unnamed segments. A crash now must lose exactly these.
+	for i := 1; i <= 12; i++ {
+		data := segChunk(i, 1024)
+		if err := s.PutChunk(fingerprint.Of(data), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate the kill: reopen the directory without Close (Close would
+	// commit the tail).
+	r := openSeg(t, dir)
+	defer r.Close()
+	if got, err := r.GetChunk(fingerprint.Of(committed)); err != nil || !bytes.Equal(got, committed) {
+		t.Fatalf("committed chunk after reopen: %q, %v", got, err)
+	}
+	for i := 1; i <= 12; i++ {
+		if ok, _ := r.HasChunk(fingerprint.Of(segChunk(i, 1024))); ok {
+			t.Fatalf("uncommitted chunk %d visible after reopen", i)
+		}
+	}
+	if _, chunks := r.Usage(); chunks != 1 {
+		t.Fatalf("reopened store has %d chunks, want 1", chunks)
+	}
+}
+
+func TestSegRefcountsSurviveReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openSeg(t, dir)
+	data := segChunk(7, 512)
+	fp := fingerprint.Of(data)
+	if err := s.PutChunk(fp, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Second reference lands after sealing: the refcount drift must
+	// travel in the manifest's override column, not the immutable index.
+	if err := s.PutChunk(fp, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openSeg(t, dir)
+	defer r.Close()
+	if err := r.ReleaseChunk(fp); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := r.HasChunk(fp); !ok {
+		t.Fatal("chunk deleted after releasing one of two references")
+	}
+	if err := r.ReleaseChunk(fp); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := r.HasChunk(fp); ok {
+		t.Fatal("chunk survived releasing both references")
+	}
+}
+
+// TestSegCompactReclaims is the GC acceptance test: a churn that
+// tombstones most of the store must get >=90% of those bytes back.
+func TestSegCompactReclaims(t *testing.T) {
+	dir := t.TempDir()
+	s := openSeg(t, dir)
+	defer s.Close()
+	const n, size = 64, 1024
+	fps := make([]fingerprint.FP, n)
+	for i := 0; i < n; i++ {
+		data := segChunk(i, size)
+		fps[i] = fingerprint.Of(data)
+		if err := s.PutChunk(fps[i], data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Release 75% — every fourth chunk survives, so most segments are
+	// mixed live/dead and compaction must copy, not just drop.
+	for i := 0; i < n; i++ {
+		if i%4 == 0 {
+			continue
+		}
+		if err := s.ReleaseChunk(fps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.TombstonedBytes == 0 {
+		t.Fatal("churn produced no tombstoned bytes")
+	}
+	if r := st.ReclaimRatio(); r < 0.9 {
+		t.Fatalf("compaction reclaimed %.3f of tombstoned bytes, want >= 0.9 (stats %+v)", r, st)
+	}
+	// Survivors must still read back byte-identical from the rewritten
+	// segments.
+	for i := 0; i < n; i += 4 {
+		got, err := s.GetChunk(fps[i])
+		if err != nil || !bytes.Equal(got, segChunk(i, size)) {
+			t.Fatalf("survivor %d after compaction: %v", i, err)
+		}
+	}
+	// And the on-disk footprint must reflect the reclaim.
+	if st.DataBytes >= n*size {
+		t.Fatalf("on-disk payload %d bytes after compaction, want < %d", st.DataBytes, n*size)
+	}
+	// The compacted state must survive a reopen.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openSeg(t, dir)
+	defer r.Close()
+	for i := 0; i < n; i += 4 {
+		if got, err := r.GetChunk(fps[i]); err != nil || !bytes.Equal(got, segChunk(i, size)) {
+			t.Fatalf("survivor %d after compaction+reopen: %v", i, err)
+		}
+	}
+}
+
+func TestSegAutoCompact(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewSegStore(dir, SegConfig{
+		SegmentTarget: 4 << 10, AutoCompact: true, CompactEvery: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const n = 32
+	fps := make([]fingerprint.FP, n)
+	for i := 0; i < n; i++ {
+		data := segChunk(i, 1024)
+		fps[i] = fingerprint.Of(data)
+		if err := s.PutChunk(fps[i], data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for _, fp := range fps {
+		if err := s.ReleaseChunk(fp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.Stats()
+		if st.Compactions > 0 && st.GarbageBytes == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background compactor never reclaimed: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSegManifestCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	s := openSeg(t, dir)
+	data := segChunk(1, 512)
+	if err := s.PutChunk(fingerprint.Of(data), data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, manifestName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSeg(dir); err == nil {
+		t.Fatal("corrupted manifest opened without error")
+	}
+}
+
+func TestSegIndexCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	s := openSeg(t, dir)
+	data := segChunk(2, 512)
+	if err := s.PutChunk(fingerprint.Of(data), data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "segments", "*.idx"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no index files: %v", err)
+	}
+	raw, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(matches[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSeg(dir); err == nil {
+		t.Fatal("corrupted segment index opened without error")
+	}
+}
+
+func TestSegFailSemantics(t *testing.T) {
+	dir := t.TempDir()
+	s := openSeg(t, dir)
+	data := segChunk(3, 512)
+	fp := fingerprint.Of(data)
+	if err := s.PutChunk(fp, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	s.Fail()
+	if err := s.PutChunk(fp, data); !errors.Is(err, ErrFailed) {
+		t.Fatalf("put after Fail = %v, want ErrFailed", err)
+	}
+	if err := s.Commit(); !errors.Is(err, ErrFailed) {
+		t.Fatalf("commit after Fail = %v, want ErrFailed", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A failed node replaced with a blank store starts empty.
+	r := openSeg(t, dir)
+	defer r.Close()
+	if _, chunks := r.Usage(); chunks != 0 {
+		t.Fatalf("store reopened after Fail has %d chunks, want 0", chunks)
+	}
+}
+
+func TestSegCommitHelperUnwrapsWrappers(t *testing.T) {
+	dir := t.TempDir()
+	s := openSeg(t, dir)
+	defer s.Close()
+	data := segChunk(4, 512)
+	timed := NewTimed(s)
+	if err := timed.PutChunk(fingerprint.Of(data), data); err != nil {
+		t.Fatal(err)
+	}
+	if err := Commit(timed); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Commits; got != 1 {
+		t.Fatalf("Commit through Timed reached the engine %d times, want 1", got)
+	}
+	// And engines without a commit point are a clean no-op.
+	if err := Commit(NewMem()); err != nil {
+		t.Fatalf("Commit on mem store = %v", err)
+	}
+}
+
+func TestSegStatsOf(t *testing.T) {
+	dir := t.TempDir()
+	s := openSeg(t, dir)
+	defer s.Close()
+	if _, ok := SegStatsOf(NewMem()); ok {
+		t.Fatal("SegStatsOf claimed a mem store is segment-backed")
+	}
+	st, ok := SegStatsOf(NewTimed(s))
+	if !ok {
+		t.Fatal("SegStatsOf failed to unwrap Timed")
+	}
+	if st.Segments != 0 {
+		t.Fatalf("fresh store reports %d segments", st.Segments)
+	}
+}
+
+// TestSegManyCheckpoints drives a longer dump/forget churn through the
+// engine — the "holds many checkpoints cheaply" claim — and checks the
+// store converges instead of growing without bound.
+func TestSegManyCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	s := openSeg(t, dir)
+	defer s.Close()
+	live := make(map[int][]fingerprint.FP)
+	for ck := 0; ck < 10; ck++ {
+		var fps []fingerprint.FP
+		for i := 0; i < 16; i++ {
+			data := segChunk(ck*16+i, 1024)
+			fp := fingerprint.Of(data)
+			if err := s.PutChunk(fp, data); err != nil {
+				t.Fatal(err)
+			}
+			fps = append(fps, fp)
+		}
+		if err := s.PutBlob(fmt.Sprintf("ck%d/meta", ck), []byte{byte(ck)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		live[ck] = fps
+		if old := ck - 2; old >= 0 {
+			for _, fp := range live[old] {
+				if err := s.ReleaseChunk(fp); err != nil {
+					t.Fatal(err)
+				}
+			}
+			delete(live, old)
+			if err := s.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := s.Stats()
+	if r := st.ReclaimRatio(); r < 0.9 {
+		t.Fatalf("churn reclaim ratio %.3f, want >= 0.9", r)
+	}
+	for ck, fps := range live {
+		for i, fp := range fps {
+			got, err := s.GetChunk(fp)
+			if err != nil || !bytes.Equal(got, segChunk(ck*16+i, 1024)) {
+				t.Fatalf("checkpoint %d chunk %d after churn: %v", ck, i, err)
+			}
+		}
+	}
+}

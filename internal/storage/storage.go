@@ -3,10 +3,13 @@
 // several datasets or positions is kept once), recipe persistence, usage
 // accounting, and failure injection for resilience tests.
 //
-// Two implementations are provided: an in-memory store (used when
-// simulating hundreds of ranks in one process) and a disk-backed store
-// (used by the socket-transport daemon and the examples that want real
-// files on a real local device).
+// Three implementations are provided: an in-memory store (used when
+// simulating hundreds of ranks in one process), a flat disk-backed
+// store (one file per chunk, used by the socket-transport daemon and
+// the examples that want real files on a real local device), and a
+// log-structured segment store (segment.go) with crash-safe checkpoint
+// commit and background compaction — the engine that holds many
+// checkpoints cheaply.
 package storage
 
 import (
@@ -48,6 +51,32 @@ type Store interface {
 	Fail()
 	// Failed reports whether the node has failed.
 	Failed() bool
+}
+
+// Committer is implemented by stores with an explicit durability point:
+// Commit makes every put, release and blob write since the previous
+// Commit survive a crash, atomically — after a kill, the store reopens
+// to the last committed state, never a prefix of an uncommitted one.
+type Committer interface {
+	Commit() error
+}
+
+// Commit drives a store's checkpoint commit if it has one. Stores
+// without an explicit commit point (the in-memory store; the flat disk
+// engine, which is durable per-operation) are a no-op, so pipeline code
+// calls this unconditionally. Instrumentation wrappers exposing
+// Inner() Store are unwrapped.
+func Commit(s Store) error {
+	for {
+		if c, ok := s.(Committer); ok {
+			return c.Commit()
+		}
+		w, ok := s.(interface{ Inner() Store })
+		if !ok {
+			return nil
+		}
+		s = w.Inner()
+	}
 }
 
 // memStore is the in-memory Store.

@@ -9,14 +9,19 @@ import (
 	"dedupcr/internal/fingerprint"
 )
 
-// stores returns both implementations under a common label.
+// stores returns every implementation under a common label, so the
+// conformance tests below run against all engines.
 func stores(t *testing.T) map[string]Store {
 	t.Helper()
 	disk, err := NewDisk(filepath.Join(t.TempDir(), "node"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	return map[string]Store{"mem": NewMem(), "disk": disk}
+	seg, err := NewSeg(filepath.Join(t.TempDir(), "segnode"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{"mem": NewMem(), "disk": disk, "seg": seg}
 }
 
 func TestPutGetChunk(t *testing.T) {

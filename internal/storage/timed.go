@@ -99,6 +99,13 @@ func (t *Timed) GetBlob(name string) ([]byte, error) {
 	return data, err
 }
 
+// Commit forwards a checkpoint commit to the wrapped store, timing it
+// as a write — manifest fsyncs are exactly the device-side cost the
+// write histogram exists to surface.
+func (t *Timed) Commit() error {
+	return t.timeWrite(func() error { return Commit(t.inner) })
+}
+
 func (t *Timed) Usage() (int64, int) { return t.inner.Usage() }
 
 func (t *Timed) Fail() { t.inner.Fail() }
