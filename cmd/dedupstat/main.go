@@ -6,6 +6,7 @@
 //
 //	dedupstat [-chunk 4096] [-cdc] file...
 //	dedupstat -cluster cluster.json
+//	dedupstat -bundle DIR
 //
 // It reports, per file and across all files, the total size, the locally
 // unique size (per-file dedup, the paper's local-dedup potential) and the
@@ -18,6 +19,11 @@
 // totals, load-imbalance coefficients, clock spread and flagged
 // stragglers; restore reports (Kind "restore") add read amplification,
 // fetch imbalance and sequential-run locality.
+//
+// With -bundle it renders a post-mortem failure bundle (written by the
+// flight recorder on collective failure, rollback, kill or crash
+// recovery; see internal/obs): the failure header, the event timeline
+// and the attached snapshot files.
 package main
 
 import (
@@ -25,12 +31,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
 	"dedupcr/internal/chunk"
 	"dedupcr/internal/fingerprint"
 	"dedupcr/internal/metrics"
+	"dedupcr/internal/obs"
 	"dedupcr/internal/telemetry"
 )
 
@@ -38,14 +46,23 @@ func main() {
 	chunkSize := flag.Int("chunk", chunk.DefaultSize, "fixed chunk size in bytes")
 	cdc := flag.Bool("cdc", false, "use content-defined chunking instead of fixed-size")
 	clusterIn := flag.String("cluster", "", "render this cluster telemetry JSON file (dump and/or restore reports) as tables and exit")
+	bundleIn := flag.String("bundle", "", "render this post-mortem failure bundle directory (or every bundle-* under it) as a timeline and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dedupstat [-chunk N] [-cdc] file...\n")
 		fmt.Fprintf(os.Stderr, "       dedupstat -cluster cluster.json\n")
+		fmt.Fprintf(os.Stderr, "       dedupstat -bundle DIR\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if *clusterIn != "" {
 		if err := renderCluster(*clusterIn); err != nil {
+			fmt.Fprintf(os.Stderr, "dedupstat: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *bundleIn != "" {
+		if err := renderBundle(*bundleIn); err != nil {
 			fmt.Fprintf(os.Stderr, "dedupstat: %v\n", err)
 			os.Exit(1)
 		}
@@ -214,4 +231,29 @@ func trunc(s string, n int) string {
 		return s
 	}
 	return "..." + s[len(s)-n+3:]
+}
+
+// renderBundle renders a post-mortem failure bundle: path may name one
+// bundle directory (it holds events.jsonl) or a parent directory, in
+// which case every bundle-* underneath is rendered, oldest first.
+func renderBundle(path string) error {
+	if _, err := os.Stat(filepath.Join(path, "events.jsonl")); err == nil {
+		return obs.RenderBundle(os.Stdout, path)
+	}
+	dirs, err := obs.FindBundles(path)
+	if err != nil {
+		return err
+	}
+	if len(dirs) == 0 {
+		return fmt.Errorf("%s: not a bundle (no events.jsonl) and no bundle-* directories underneath", path)
+	}
+	for i, dir := range dirs {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := obs.RenderBundle(os.Stdout, dir); err != nil {
+			return fmt.Errorf("%s: %w", dir, err)
+		}
+	}
+	return nil
 }

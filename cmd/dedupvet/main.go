@@ -1,7 +1,7 @@
 // Command dedupvet is the repo's invariant checker: a multichecker
 // bundling the internal/analysis suite (collective determinism, bounded
 // decoding, phase attribution, guarded-by lock annotations, context
-// discipline). It runs in two modes:
+// discipline, raw-print hygiene). It runs in two modes:
 //
 // Standalone (the Makefile/CI entry point, works without installing):
 //
@@ -34,11 +34,12 @@ import (
 	"dedupcr/internal/analysis/guardedby"
 	"dedupcr/internal/analysis/load"
 	"dedupcr/internal/analysis/phaseattr"
+	"dedupcr/internal/analysis/rawprint"
 )
 
 // version is what -V=full reports; cmd/go hashes the line into its action
 // cache, so bump it when analyzer behaviour changes.
-const version = "v1"
+const version = "v2"
 
 // analyzers is the suite, in reporting order.
 var analyzers = []*analysis.Analyzer{
@@ -47,6 +48,7 @@ var analyzers = []*analysis.Analyzer{
 	phaseattr.Analyzer,
 	guardedby.Analyzer,
 	ctxcheck.Analyzer,
+	rawprint.Analyzer,
 }
 
 func main() {

@@ -22,10 +22,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -35,6 +37,7 @@ import (
 	"dedupcr/internal/collectives"
 	"dedupcr/internal/core"
 	"dedupcr/internal/metrics"
+	"dedupcr/internal/obs"
 	"dedupcr/internal/storage"
 	"dedupcr/internal/telemetry"
 	"dedupcr/internal/trace"
@@ -118,6 +121,41 @@ func registerClusterHandlers() {
 	})
 }
 
+// registerFlightHandlers wires the flight-recorder endpoints onto the
+// default mux: /debug/flight streams the ring's committed window as
+// JSONL (?n=N limits to the last N events), /debug/bundle triggers a
+// post-mortem bundle on demand and reports its path.
+func registerFlightHandlers(rank int) {
+	http.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		rec := obs.Default()
+		evs := rec.Events()
+		if nStr := r.URL.Query().Get("n"); nStr != "" {
+			if n, err := strconv.Atoi(nStr); err == nil && n >= 0 {
+				evs = rec.Tail(n)
+			}
+		}
+		w.Header().Set("Content-Type", "application/jsonl")
+		w.Header().Set("X-Dedupcr-Obs-Dropped", fmt.Sprint(rec.Dropped()))
+		enc := json.NewEncoder(w)
+		for _, e := range evs {
+			enc.Encode(e)
+		}
+	})
+	http.HandleFunc("/debug/bundle", func(w http.ResponseWriter, r *http.Request) {
+		path, ok := obs.Trigger(obs.Failure{
+			Kind:  "manual",
+			Rank:  rank,
+			Cause: "requested via /debug/bundle",
+		})
+		if !ok {
+			http.Error(w, "bundle not written (no -bundle-dir configured, or a bundle was written within the last second)",
+				http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, path)
+	})
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintf(os.Stderr, "replicad: %v\n", err)
@@ -136,6 +174,9 @@ func run() error {
 	chunkSize := flag.Int("chunk", 4096, "chunk size in bytes")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof plus the /cluster and /restore telemetry endpoints (JSON and /metrics) on this address (e.g. localhost:6060)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of this rank's run to this file")
+	wireTrace := flag.Bool("wire-trace", false, "with -trace: stamp outgoing frames with trace context and draw causal send->recv flow arrows (all ranks must agree)")
+	jobID := flag.Uint64("job", 0, "wire-trace job id stamped into frame trace contexts (0 = derived from the dataset name; all ranks must agree)")
+	bundleDir := flag.String("bundle-dir", os.Getenv("DEDUPCR_BUNDLE_DIR"), "write post-mortem failure bundles under this directory (default $DEDUPCR_BUNDLE_DIR; empty disables)")
 	stats := flag.Bool("stats", false, "dump Prometheus-style counters to stderr on exit")
 	legacyPutSummary := flag.Bool("legacy-put-summary", false, "expose put latency as the old quantile summary instead of the bucketed histogram")
 	clusterOut := flag.String("cluster", "", "rank 0: write the gathered cluster telemetry JSON (ClusterDump for dump, ClusterRestore for restore) to this file")
@@ -161,8 +202,34 @@ func run() error {
 		return fmt.Errorf("rank %d out of range for %d hosts", *rank, len(addrs))
 	}
 
+	if *bundleDir != "" {
+		obs.SetBundleDir(*bundleDir)
+	}
+	// Post-mortem bundles attach the transport and store state alongside
+	// the flight-recorder events; the closures read whatever is current
+	// at trigger time.
+	var bundleComm collectives.Comm
+	obs.RegisterSnapshot("comm-stats", func() any {
+		if bundleComm == nil {
+			return nil
+		}
+		return bundleComm.Stats()
+	})
+	var bundleStore storage.Store
+	obs.RegisterSnapshot("store-stats", func() any {
+		if bundleStore == nil {
+			return nil
+		}
+		ss, ok := storage.SegStatsOf(bundleStore)
+		if !ok {
+			return nil
+		}
+		return ss
+	})
+
 	if *pprofAddr != "" {
 		registerClusterHandlers()
+		registerFlightHandlers(*rank)
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "replicad: pprof: %v\n", err)
@@ -212,6 +279,7 @@ func run() error {
 		timed = storage.NewTimed(store)
 		store = timed
 	}
+	bundleStore = store
 
 	var tr *trace.Trace
 	var rec *trace.Recorder
@@ -226,6 +294,19 @@ func run() error {
 		return err
 	}
 	defer comm.Close()
+	bundleComm = comm
+	if *wireTrace {
+		if rec == nil {
+			return fmt.Errorf("-wire-trace needs -trace FILE (the flow arrows land in the Chrome trace)")
+		}
+		id := *jobID
+		if id == 0 {
+			h := fnv.New64a()
+			h.Write([]byte(*name))
+			id = h.Sum64()
+		}
+		comm.EnableWireTrace(id, 0, rec)
+	}
 
 	var ap core.Approach
 	switch *approach {
@@ -276,6 +357,10 @@ func run() error {
 		if ss, ok := storage.SegStatsOf(store); ok {
 			ss.Rank = *rank
 			ss.WritePrometheus(os.Stderr)
+		}
+		obs.Default().WritePrometheus(os.Stderr, *rank)
+		if tr != nil {
+			tr.WritePrometheus(os.Stderr, *rank)
 		}
 	}
 	if tr != nil {

@@ -1,0 +1,127 @@
+// Package rawprint forbids raw terminal prints in library packages: the
+// flight recorder (internal/obs) and its slog front-end are the one
+// diagnostic channel, so library code writing straight to stderr/stdout
+// bypasses the black box — the message is invisible to post-mortem
+// bundles and to /debug/flight.
+//
+// Flagged in library packages (any internal/ subtree plus the module
+// root, mirroring ctxcheck's scope):
+//
+//   - fmt.Print / fmt.Printf / fmt.Println (stdout)
+//   - fmt.Fprint* with os.Stderr or os.Stdout as the writer
+//   - every call into the standard "log" package
+//   - the print / println builtins
+//
+// Exempt: cmd/ and examples/ binaries (their stdout IS the product),
+// _test.go files, and internal/obs itself — the recorder needs one
+// sanctioned sink of last resort. An audited exception carries a
+// `//dedupvet:rawprint` directive.
+package rawprint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dedupcr/internal/analysis"
+)
+
+// Analyzer is the raw-print checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "rawprint",
+	Doc: "forbid raw stderr/stdout prints and the log package in library " +
+		"code: diagnostics go through internal/obs (flight recorder + slog)",
+	Run: run,
+}
+
+// Directive marks an audited raw-print site.
+const Directive = "rawprint"
+
+func run(pass *analysis.Pass) error {
+	if !isLibraryPkg(pass.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		filename := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			check(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// isLibraryPkg mirrors ctxcheck's scope: internal/ subtrees and the bare
+// module-root facade are library territory; cmd/ and examples/ are not,
+// and internal/obs is the sanctioned sink itself.
+func isLibraryPkg(path string) bool {
+	if strings.Contains(path, "/cmd/") || strings.HasPrefix(path, "cmd/") ||
+		strings.Contains(path, "/examples/") || strings.HasPrefix(path, "examples/") {
+		return false
+	}
+	if analysis.PkgPathHasSuffix(path, "internal/obs") {
+		return false
+	}
+	return strings.Contains(path, "internal/") || !strings.Contains(path, "/")
+}
+
+func check(pass *analysis.Pass, call *ast.CallExpr) {
+	// The print/println builtins resolve to no *types.Func.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok &&
+			(b.Name() == "print" || b.Name() == "println") {
+			report(pass, call, "builtin "+b.Name())
+		}
+		return
+	}
+	callee := pass.CalleeFunc(call)
+	if callee == nil {
+		return
+	}
+	switch analysis.FuncPkgPath(callee) {
+	case "log":
+		report(pass, call, "log."+callee.Name())
+	case "fmt":
+		name := callee.Name()
+		switch {
+		case name == "Print" || name == "Printf" || name == "Println":
+			report(pass, call, "fmt."+name)
+		case strings.HasPrefix(name, "Fprint") && len(call.Args) > 0:
+			if std := osStdStream(pass, call.Args[0]); std != "" {
+				report(pass, call, "fmt."+name+" to os."+std)
+			}
+		}
+	}
+}
+
+// osStdStream returns "Stderr"/"Stdout" when e is that os package
+// variable, else "".
+func osStdStream(pass *analysis.Pass, e ast.Expr) string {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg().Path() != "os" {
+		return ""
+	}
+	if v.Name() == "Stderr" || v.Name() == "Stdout" {
+		return v.Name()
+	}
+	return ""
+}
+
+func report(pass *analysis.Pass, call *ast.CallExpr, what string) {
+	if pass.Suppressed(call.Pos(), Directive) {
+		return
+	}
+	pass.Reportf(call.Pos(), "raw print (%s) in library code: route diagnostics through internal/obs (audited sites are annotated %s%s)",
+		what, analysis.DirectivePrefix, Directive)
+}

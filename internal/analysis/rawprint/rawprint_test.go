@@ -1,0 +1,12 @@
+package rawprint_test
+
+import (
+	"testing"
+
+	"dedupcr/internal/analysis/analysistest"
+	"dedupcr/internal/analysis/rawprint"
+)
+
+func TestRawPrint(t *testing.T) {
+	analysistest.Run(t, rawprint.Analyzer, "internal/lib", "internal/obs", "cmd/tool")
+}

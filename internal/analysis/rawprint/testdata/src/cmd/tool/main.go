@@ -1,0 +1,14 @@
+// Command tool is a cmd/ fixture: stdout is its product, prints are fine.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func main() {
+	fmt.Println("report")
+	fmt.Fprintf(os.Stderr, "usage: tool\n")
+	log.Printf("cli logging is allowed")
+}

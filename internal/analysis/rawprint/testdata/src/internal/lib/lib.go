@@ -1,0 +1,36 @@
+// Package lib is a library-package fixture: every raw print here must be
+// flagged unless audited.
+package lib
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+)
+
+func bad() {
+	fmt.Println("hello")                   // want "raw print \\(fmt.Println\\) in library code"
+	fmt.Printf("x=%d\n", 1)                // want "raw print \\(fmt.Printf\\) in library code"
+	fmt.Print("y")                         // want "raw print \\(fmt.Print\\) in library code"
+	fmt.Fprintf(os.Stderr, "oops %d\n", 2) // want "raw print \\(fmt.Fprintf to os.Stderr\\) in library code"
+	fmt.Fprintln(os.Stdout, "done")        // want "raw print \\(fmt.Fprintln to os.Stdout\\) in library code"
+	log.Printf("legacy %d", 3)             // want "raw print \\(log.Printf\\) in library code"
+	log.Println("legacy")                  // want "raw print \\(log.Println\\) in library code"
+	println("builtin")                     // want "raw print \\(builtin println\\) in library code"
+	print("builtin")                       // want "raw print \\(builtin print\\) in library code"
+}
+
+func ok() {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "buffered %d\n", 4) // writers other than the std streams are fine
+	_ = fmt.Sprintf("formatting is fine %d", 5)
+	fmt.Fprint(pick(), "indirect writer is not resolved")
+}
+
+func pick() *os.File { return os.Stderr }
+
+func audited() {
+	//dedupvet:rawprint boot-time diagnostics before the recorder exists
+	fmt.Fprintln(os.Stderr, "audited")
+}

@@ -1,0 +1,11 @@
+// Package obs is the sanctioned sink fixture: raw prints here are exempt.
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+func sink(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+}

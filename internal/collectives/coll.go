@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"time"
+
+	"dedupcr/internal/obs"
 )
 
 // collTag derives the tag for one collective call: the op id and the
@@ -24,11 +26,19 @@ const (
 )
 
 // recordColl files one finished collective call's round count and wall
-// time with the transport's statsCounter, when it has one.
-func recordColl(c Comm, rounds int, start time.Time) {
+// time with the transport's statsCounter (when it has one) and stamps the
+// completion in the flight recorder with the cumulative round counter —
+// the "last collective round" a post-mortem bundle names.
+func recordColl(c Comm, op string, rounds int, start time.Time) {
 	if sc, ok := c.(collRecorder); ok {
 		sc.countColl(rounds, time.Since(start))
 	}
+	noteCollEvent(c, op, rounds)
+}
+
+// noteCollEvent records one finished collective in the flight recorder.
+func noteCollEvent(c Comm, op string, rounds int) {
+	obs.Logf(obs.KindColl, c.Rank(), "", c.Stats().CollRounds, "%s (%d rounds)", op, rounds)
 }
 
 // Barrier blocks until every rank of c has entered it. It uses a
@@ -56,6 +66,7 @@ func Barrier(c Comm) error {
 		// of the cluster telemetry plane.
 		sc.noteBarrierExit(time.Now())
 	}
+	noteCollEvent(c, "barrier", rounds)
 	return nil
 }
 
@@ -93,7 +104,7 @@ func Bcast(c Comm, root int, data []byte) ([]byte, error) {
 			rounds++
 		}
 	}
-	recordColl(c, rounds, start)
+	recordColl(c, "bcast", rounds, start)
 	return data, nil
 }
 
@@ -128,7 +139,7 @@ func Gather(c Comm, root int, mine []byte) ([][]byte, error) {
 		if err := c.Send(root, tag, mine); err != nil {
 			return nil, fmt.Errorf("gather send: %w", err)
 		}
-		recordColl(c, 1, start)
+		recordColl(c, "gather", 1, start)
 		return nil, nil
 	}
 	out := make([][]byte, c.Size())
@@ -143,7 +154,7 @@ func Gather(c Comm, root int, mine []byte) ([][]byte, error) {
 		}
 		out[r] = data
 	}
-	recordColl(c, c.Size()-1, start)
+	recordColl(c, "gather", c.Size()-1, start)
 	return out, nil
 }
 
@@ -158,7 +169,7 @@ func Allgather(c Comm, mine []byte) ([][]byte, error) {
 	out := make([][]byte, n)
 	out[me] = append([]byte(nil), mine...)
 	if n == 1 {
-		recordColl(c, 0, start)
+		recordColl(c, "allgather", 0, start)
 		return out, nil
 	}
 	right := (me + 1) % n
@@ -176,7 +187,7 @@ func Allgather(c Comm, mine []byte) ([][]byte, error) {
 		}
 		out[recvIdx] = data
 	}
-	recordColl(c, n-1, start)
+	recordColl(c, "allgather", n-1, start)
 	return out, nil
 }
 
@@ -220,6 +231,7 @@ func Reduce(c Comm, root int, mine []byte, merge MergeFunc) ([]byte, error) {
 			sc.setReduceRounds(roundTimes)
 			sc.countColl(len(roundTimes), time.Since(start))
 		}
+		noteCollEvent(c, "reduce", len(roundTimes))
 	}
 	for mask := 1; mask < n; mask *= 2 {
 		roundStart := time.Now()

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dedupcr/internal/obs"
 )
 
 // Typed failure taxonomy of the collective runtime. A collective job can
@@ -257,8 +259,14 @@ func Kill(c Comm, cause error) {
 
 // NotePhase informs the communicator (when it cares — currently the
 // fault-injection wrapper) that the caller entered the named pipeline
-// phase. The dump/restore pipeline calls it at every phase boundary.
+// phase, and records the transition in the flight recorder. The
+// dump/restore pipeline calls it at every phase boundary.
 func NotePhase(c Comm, phase string) {
+	obs.Logf(obs.KindPhase, c.Rank(), phase, 0, "")
+	// Tag the pipeline goroutine (and the workers it spawns) so CPU
+	// profiles attribute samples phase by phase; the label is replaced at
+	// the next boundary and cleared when the pipeline finishes.
+	obs.PhaseLabel(phase)
 	if pn, ok := c.(phaseNoter); ok {
 		pn.EnterPhase(phase)
 	}

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"dedupcr/internal/obs"
 )
 
 // Fault injection for the communication plane, the counterpart of
@@ -188,8 +190,20 @@ func (f *FaultyComm) apply(ft *Fault, op opClass, peer int) (error, bool) {
 	if ft == nil {
 		return nil, false
 	}
+	f.mu.Lock()
+	phase := f.phase
+	f.mu.Unlock()
+	obs.Logf(obs.KindFault, f.base.Rank(), phase, 0, "injected %s (peer %d)", ft.Kind, peer)
 	switch ft.Kind {
 	case FaultKill:
+		// Trigger the post-mortem bundle here rather than leaving it to
+		// killComm: the injection layer knows the pipeline phase the
+		// victim was in, which the transport-level kill no longer sees.
+		obs.Trigger(obs.Failure{
+			Kind: "kill", Rank: f.base.Rank(), Ranks: []int{f.base.Rank()},
+			Phase: phase,
+			Cause: fmt.Sprintf("injected kill of rank %d (peer %d)", f.base.Rank(), peer),
+		})
 		Kill(f.base, fmt.Errorf("%w: rank %d killed", ErrInjected, f.base.Rank()))
 		// Fall through to the base operation, which now fails with the
 		// kill's CollectiveError — the rank dies mid-operation.

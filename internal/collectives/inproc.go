@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"dedupcr/internal/obs"
 )
 
 // Group is an in-process communicator group: Size ranks living in one OS
@@ -97,10 +99,19 @@ func (c *InprocComm) Stats() Stats { return c.snapshot() }
 
 // abortComm implements the collective abort protocol for the in-process
 // transport: every rank of the group observes the failure immediately.
-func (c *InprocComm) abortComm(e *CollectiveError) { c.group.abortAll(e) }
+func (c *InprocComm) abortComm(e *CollectiveError) {
+	obs.Logf(obs.KindAbort, c.rank, e.Phase, 0, "abort (local): %v", e)
+	c.group.abortAll(e)
+}
 
 // killComm simulates this rank's crash.
-func (c *InprocComm) killComm(e *CollectiveError) { c.group.failRank(c.rank, e) }
+func (c *InprocComm) killComm(e *CollectiveError) {
+	obs.Logf(obs.KindKill, c.rank, e.Phase, 0, "comm killed: %v", e)
+	obs.Trigger(obs.Failure{
+		Kind: "kill", Rank: c.rank, Ranks: e.Ranks, Phase: e.Phase, Cause: e.Error(),
+	})
+	c.group.failRank(c.rank, e)
+}
 
 // Send implements Comm. The payload is copied, so the caller may reuse
 // data immediately (matching the TCP transport's semantics).

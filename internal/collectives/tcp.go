@@ -8,6 +8,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dedupcr/internal/obs"
+	"dedupcr/internal/trace"
 )
 
 // TCPComm is a communicator over TCP sockets: the "fake MPI over sockets"
@@ -39,6 +42,10 @@ type TCPComm struct {
 
 	seq    atomic.Uint32
 	closed atomic.Bool
+	// wtrace holds the causal wire-tracing configuration (nil = off);
+	// spanSeq mints sender-unique flow ids.
+	wtrace  atomic.Pointer[wireTraceState]
+	spanSeq atomic.Uint64
 	// aborted holds the abort/kill error once the communicator gave up;
 	// every subsequent operation fails with it.
 	aborted atomic.Pointer[CollectiveError]
@@ -135,13 +142,33 @@ const maxFrameSize = 1 << 30
 // It performs two writes (header, payload) so large payloads are not
 // copied; callers serialize writes per connection.
 func writeFrame(w io.Writer, tag Tag, payload []byte) error {
+	return writeFrameTC(w, tag, nil, payload)
+}
+
+// writeFrameTC is writeFrame with an optional trace-context header: when
+// tc is non-nil, bit 31 of the length word is set and an u8-length-
+// prefixed context block precedes the payload (see tracectx.go).
+func writeFrameTC(w io.Writer, tag Tag, tc *TraceContext, payload []byte) error {
 	if len(payload) > maxFrameSize {
 		return fmt.Errorf("collectives: frame payload of %d bytes exceeds limit %d", len(payload), maxFrameSize)
 	}
 	var hdr [8]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	lenWord := uint32(len(payload))
+	if tc != nil {
+		lenWord |= flagTraceCtx
+	}
+	binary.BigEndian.PutUint32(hdr[:4], lenWord)
 	binary.BigEndian.PutUint32(hdr[4:], uint32(tag))
-	if _, err := w.Write(hdr[:]); err != nil {
+	if tc != nil {
+		enc := encodeTraceContext(tc)
+		buf := make([]byte, 0, len(hdr)+1+len(enc))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, byte(len(enc)))
+		buf = append(buf, enc...)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	} else if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
 	if len(payload) == 0 {
@@ -157,19 +184,36 @@ func writeFrame(w io.Writer, tag Tag, payload []byte) error {
 // short stream errors out — never the full declared size.
 const frameAllocChunk = 1 << 20
 
-// readFrame reads one frame from r, returning its tag and payload. It
-// rejects frames whose declared payload exceeds maxFrameSize, and
+// readFrame reads one frame from r, returning its tag, payload and
+// optional trace context (nil on legacy frames without the bit-31 flag).
+// It rejects frames whose declared payload exceeds maxFrameSize, and
 // allocates progressively so the declared size is only ever backed by
 // bytes that really arrived.
-func readFrame(r io.Reader) (Tag, []byte, error) {
+func readFrame(r io.Reader) (Tag, []byte, *TraceContext, error) {
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
-	size := binary.BigEndian.Uint32(hdr[:4])
+	lenWord := binary.BigEndian.Uint32(hdr[:4])
+	size := lenWord &^ flagTraceCtx
 	tag := Tag(binary.BigEndian.Uint32(hdr[4:]))
 	if size > maxFrameSize {
-		return 0, nil, fmt.Errorf("collectives: frame of %d bytes exceeds limit %d", size, maxFrameSize)
+		return 0, nil, nil, fmt.Errorf("collectives: frame of %d bytes exceeds limit %d", size, maxFrameSize)
+	}
+	var tc *TraceContext
+	if lenWord&flagTraceCtx != 0 {
+		var tcLen [1]byte
+		if _, err := io.ReadFull(r, tcLen[:]); err != nil {
+			return 0, nil, nil, err
+		}
+		tcBuf := make([]byte, tcLen[0])
+		if _, err := io.ReadFull(r, tcBuf); err != nil {
+			return 0, nil, nil, err
+		}
+		var err error
+		if tc, err = decodeTraceContext(tcBuf); err != nil {
+			return 0, nil, nil, err
+		}
 	}
 	total := int(size)
 	step := total
@@ -180,11 +224,11 @@ func readFrame(r io.Reader) (Tag, []byte, error) {
 	read := 0
 	for {
 		if _, err := io.ReadFull(r, payload[read:]); err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
 		read = len(payload)
 		if read >= total {
-			return tag, payload, nil
+			return tag, payload, tc, nil
 		}
 		next := read * 2
 		if next > total {
@@ -216,7 +260,7 @@ func (c *TCPComm) readLoop(conn net.Conn) {
 	// a per-put timeout).
 	c.box.unfailPeer(from)
 	for {
-		tag, payload, err := readFrame(conn)
+		tag, payload, tc, err := readFrame(conn)
 		if err != nil {
 			if c.closed.Load() || c.aborted.Load() != nil {
 				return
@@ -232,12 +276,24 @@ func (c *TCPComm) readLoop(conn net.Conn) {
 			// not re-gossip — the origin already notified everyone it
 			// could reach, and the erroring layers above cascade anyway.
 			if ranks, cause, derr := decodeAbortMsg(payload); derr == nil {
+				obs.Logf(obs.KindAbort, c.rank, "", 0, "abort gossip from rank %d: ranks %v: %s", from, ranks, cause)
 				c.noteAbort(&CollectiveError{
 					Ranks: ranks,
 					Cause: fmt.Errorf("rank %d reported: %s", from, cause),
 				}, false)
 			}
 			continue
+		}
+		if tc != nil {
+			// Receive-side flow anchor: links this rank's timeline back
+			// to the sending rank's FlowStart with the same span id.
+			if wt := c.wtrace.Load(); wt != nil {
+				wt.tracer.FlowInstant("wire-recv", tc.SpanID, trace.FlowFinish, map[string]string{
+					"from":  fmt.Sprintf("%d", tc.Sender),
+					"round": fmt.Sprintf("%d", tc.Round),
+					"job":   fmt.Sprintf("%d/%d", tc.JobID, tc.DumpSeq),
+				})
+			}
 		}
 		c.countRecv(from, len(payload))
 		c.box.put(from, tag, payload)
@@ -334,11 +390,27 @@ func (c *TCPComm) SendDeadline(to int, tag Tag, data []byte, deadline time.Time)
 	if err != nil {
 		return err
 	}
+	// Causal wire tracing: stamp the frame with this rank's context and
+	// record the sending side of the flow arrow.
+	var tc *TraceContext
+	if wt := c.wtrace.Load(); wt != nil {
+		tc = &TraceContext{
+			JobID:   wt.jobID,
+			DumpSeq: wt.dumpSeq,
+			Round:   uint32(c.collRounds.Load()),
+			Sender:  uint32(c.rank),
+			SpanID:  c.nextSpanID(),
+		}
+		wt.tracer.FlowInstant("wire-send", tc.SpanID, trace.FlowStart, map[string]string{
+			"to":    fmt.Sprintf("%d", to),
+			"round": fmt.Sprintf("%d", tc.Round),
+		})
+	}
 	s.mu.Lock()
 	if !deadline.IsZero() {
 		s.conn.SetWriteDeadline(deadline)
 	}
-	werr := writeFrame(s.conn, tag, data)
+	werr := writeFrameTC(s.conn, tag, tc, data)
 	if werr == nil && !deadline.IsZero() {
 		s.conn.SetWriteDeadline(time.Time{})
 	}
@@ -370,6 +442,11 @@ func (c *TCPComm) noteAbort(e *CollectiveError, gossip bool) {
 	if !c.aborted.CompareAndSwap(nil, e) {
 		return
 	}
+	origin := "received"
+	if gossip {
+		origin = "local"
+	}
+	obs.Logf(obs.KindAbort, c.rank, e.Phase, 0, "abort (%s): %v", origin, e)
 	c.box.abort(e)
 	c.mu.Lock()
 	for _, s := range c.conns {
@@ -424,6 +501,10 @@ func (c *TCPComm) killComm(e *CollectiveError) {
 	if !c.aborted.CompareAndSwap(nil, e) {
 		return
 	}
+	obs.Logf(obs.KindKill, c.rank, e.Phase, 0, "comm killed: %v", e)
+	obs.Trigger(obs.Failure{
+		Kind: "kill", Rank: c.rank, Ranks: e.Ranks, Phase: e.Phase, Cause: e.Error(),
+	})
 	c.box.abort(e)
 	c.listener.Close()
 	c.mu.Lock()

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"dedupcr/internal/collectives"
+	"dedupcr/internal/obs"
+	"dedupcr/internal/storage"
+)
+
+// TestKillBundleEndToEnd is the post-mortem acceptance path: a rank
+// killed mid-reduction (the HMERGE collective) must leave a failure
+// bundle on disk whose record names the failing rank and phase, whose
+// timeline carries the last collective round, and which dedupstat's
+// renderer (obs.RenderBundle) prints with all three.
+func TestKillBundleEndToEnd(t *testing.T) {
+	const n, victim = 4, 2
+	prevRec := obs.SetDefault(obs.New(obs.DefaultRingSize))
+	defer obs.SetDefault(prevRec)
+	dir := t.TempDir()
+	prevDir := obs.SetBundleDir(dir)
+	defer obs.SetBundleDir(prevDir)
+
+	cluster := storage.NewCluster(n)
+	cleanDump(t, n, cluster, "ckpt-0")
+
+	plan := collectives.FaultPlan{Faults: []collectives.Fault{
+		{Kind: collectives.FaultKill, Rank: victim, Phase: "reduction", Peer: collectives.AnyRank},
+	}}
+	errs := runRanks(t, n, 5*time.Second, func(c collectives.Comm) error {
+		fc := collectives.InjectFaults(c, plan)
+		buf := testBuffer(c.Rank(), 6, 4, 3, 5)
+		_, err := DumpOutputCtx(context.Background(), fc, cluster.Node(c.Rank()), buf, faultOpts("ckpt-1"))
+		return err
+	})
+	for r := 0; r < n; r++ {
+		if errs[r] == nil {
+			t.Fatalf("rank %d reported success with rank %d killed in reduction", r, victim)
+		}
+	}
+
+	bundles, err := obs.FindBundles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) == 0 {
+		t.Fatal("no bundle written for the killed dump")
+	}
+	// The injected kill fires the first trigger; the survivors' own
+	// collective-error and rollback triggers land inside the suppression
+	// window, so the first bundle is the authoritative one.
+	f, err := obs.ReadBundleFailure(bundles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != "kill" {
+		t.Errorf("failure kind %q, want %q", f.Kind, "kill")
+	}
+	if f.Rank != victim {
+		t.Errorf("failure rank %d, want %d", f.Rank, victim)
+	}
+	if f.Phase != "reduction" {
+		t.Errorf("failure phase %q, want %q", f.Phase, "reduction")
+	}
+
+	events, err := obs.ReadBundleEvents(bundles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	haveColl := false
+	for _, e := range events {
+		if e.Kind == obs.KindColl {
+			haveColl = true
+			break
+		}
+	}
+	if !haveColl {
+		t.Error("bundle timeline carries no collective-round events")
+	}
+
+	var out bytes.Buffer
+	if err := obs.RenderBundle(&out, bundles[0]); err != nil {
+		t.Fatal(err)
+	}
+	rendered := out.String()
+	for _, want := range []string{
+		"failure:  kill",
+		fmt.Sprintf("rank:     %d", victim),
+		"phase:    reduction",
+		"last collective round:",
+	} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("rendered bundle missing %q:\n%s", want, rendered)
+		}
+	}
+}

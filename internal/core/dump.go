@@ -14,6 +14,7 @@ import (
 	"dedupcr/internal/collectives"
 	"dedupcr/internal/fingerprint"
 	"dedupcr/internal/metrics"
+	"dedupcr/internal/obs"
 	"dedupcr/internal/storage"
 	"dedupcr/internal/trace"
 )
@@ -124,14 +125,29 @@ func DumpOutputCtx(ctx context.Context, c collectives.Comm, store storage.Store,
 // one instance across all ranks, so decorating it in place would race.
 func failCollective(c collectives.Comm, err error, phase string) error {
 	collectives.Abort(c, err)
+	var out error
 	var ce *collectives.CollectiveError
-	if errors.As(err, &ce) {
-		if ce.Phase != "" {
-			return err
-		}
-		return &collectives.CollectiveError{Ranks: ce.Ranks, Phase: phase, Cause: err}
+	switch {
+	case errors.As(err, &ce) && ce.Phase != "":
+		out = err
+		phase = ce.Phase
+	case ce != nil:
+		ce = &collectives.CollectiveError{Ranks: ce.Ranks, Phase: phase, Cause: err}
+		out = ce
+	default:
+		ce = &collectives.CollectiveError{Ranks: []int{c.Rank()}, Phase: phase, Cause: err}
+		out = ce
 	}
-	return &collectives.CollectiveError{Ranks: []int{c.Rank()}, Phase: phase, Cause: err}
+	// Black-box the failure: stamp the taxonomy record in the flight
+	// recorder and write a post-mortem bundle (no-op without a configured
+	// bundle directory; cascades within the suppression window collapse
+	// into the first bundle).
+	obs.Logf(obs.KindError, c.Rank(), phase, 0, "%v", out)
+	obs.Trigger(obs.Failure{
+		Kind: "collective-error", Rank: c.Rank(), Ranks: ce.Ranks,
+		Phase: phase, Cause: out.Error(),
+	})
+	return out
 }
 
 // dumpOutput runs the dump pipeline with already-normalized options,
@@ -145,6 +161,9 @@ func dumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options, 
 		Arg("approach", o.Approach.String()).
 		Arg("bytes", fmt.Sprint(len(buf)))
 	defer dumpSpan.End()
+	// NotePhase labels the goroutine per phase for CPU profiles; drop the
+	// last label once the pipeline is done.
+	defer obs.ClearPhaseLabel()
 
 	// begin opens a pipeline phase and additionally publishes its name to
 	// the error-attribution slot and to the transport (NotePhase), which
@@ -406,7 +425,7 @@ func dumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options, 
 // retry; aborts, rank failures and cancellations are final and returned
 // immediately. Re-putting is idempotent at the receiver — the planned
 // offset region is fixed, so a retried record lands on the same bytes.
-func putRetry(win *collectives.Window, target int, off int64, rec []byte, rp RetryPolicy, retries *atomic.Int64) error {
+func putRetry(win *collectives.Window, me, target int, off int64, rec []byte, rp RetryPolicy, retries *atomic.Int64) error {
 	backoff := rp.Backoff
 	for attempt := 1; ; attempt++ {
 		err := win.Put(target, off, rec)
@@ -414,6 +433,7 @@ func putRetry(win *collectives.Window, target int, off int64, rec []byte, rp Ret
 			return err
 		}
 		retries.Add(1)
+		obs.Logf(obs.KindRetry, me, "put", 0, "put to rank %d retry %d/%d: %v", target, attempt, rp.Attempts, err)
 		if backoff > 0 {
 			time.Sleep(backoff)
 			backoff *= 2
@@ -426,7 +446,7 @@ func putRetry(win *collectives.Window, target int, off int64, rec []byte, rp Ret
 // regions are disjoint by construction (Algorithm 3), so putPartner calls
 // for different d never touch the same window bytes — which is what makes
 // them safe to run concurrently. Returns chunks and payload bytes sent.
-func putPartner(win *collectives.Window, target int, off int64, items []item, d int, rp RetryPolicy, retries *atomic.Int64) (int, int64, error) {
+func putPartner(win *collectives.Window, me, target int, off int64, items []item, d int, rp RetryPolicy, retries *atomic.Int64) (int, int64, error) {
 	var chunks int
 	var bytes int64
 	for _, it := range items {
@@ -434,7 +454,7 @@ func putPartner(win *collectives.Window, target int, off int64, items []item, d 
 			continue
 		}
 		rec := encodeRecord(it.ch.Data)
-		if err := putRetry(win, target, off, rec, rp, retries); err != nil {
+		if err := putRetry(win, me, target, off, rec, rp, retries); err != nil {
 			return chunks, bytes, fmt.Errorf("put to %d: %w", target, err)
 		}
 		off += int64(len(rec))
@@ -448,7 +468,7 @@ func putPartner(win *collectives.Window, target int, off int64, items []item, d 
 // the other, in partner-index order.
 func putSerial(win *collectives.Window, plan *Plan, items []item, offs []int64, o Options, me int, m *metrics.Dump, retries *atomic.Int64) error {
 	for d := 1; d < o.K; d++ {
-		chunks, bytes, err := putPartner(win, plan.Partner(me, d), offs[d], items, d, o.Retry, retries)
+		chunks, bytes, err := putPartner(win, me, plan.Partner(me, d), offs[d], items, d, o.Retry, retries)
 		m.SentChunks += chunks
 		m.SentBytes += bytes
 		if err != nil {
@@ -486,7 +506,7 @@ func putParallel(win *collectives.Window, plan *Plan, items []item, offs []int64
 			sp := o.Trace.Begin("put-worker").
 				Arg("partner", fmt.Sprint(d)).
 				Arg("target", fmt.Sprint(plan.Partner(me, d)))
-			chunks, bytes, err := putPartner(win, plan.Partner(me, d), offs[d], items, d, o.Retry, retries)
+			chunks, bytes, err := putPartner(win, me, plan.Partner(me, d), offs[d], items, d, o.Retry, retries)
 			sp.End()
 			results[d-1] = putResult{chunks, bytes, time.Since(start), err}
 		}(d)

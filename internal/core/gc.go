@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"dedupcr/internal/fingerprint"
+	"dedupcr/internal/obs"
 	"dedupcr/internal/storage"
 )
 
@@ -59,6 +60,11 @@ func unmarshalFPs(data []byte) ([]fingerprint.FP, error) {
 // may be failing, and a missed release only leaks a refcount, never
 // corrupts a committed dataset.
 func rollbackDump(store storage.Store, name string, rank, n, k int, refs []fingerprint.FP) {
+	obs.Logf(obs.KindRollback, rank, "", 0, "rolling back dump %q (%d refs)", name, len(refs))
+	obs.Trigger(obs.Failure{
+		Kind: "rollback", Rank: rank,
+		Cause: fmt.Sprintf("dump %q rolled back after failure", name),
+	})
 	for _, fp := range refs {
 		_ = store.ReleaseChunk(fp)
 	}

@@ -10,6 +10,7 @@ import (
 	"dedupcr/internal/fetch"
 	"dedupcr/internal/fingerprint"
 	"dedupcr/internal/metrics"
+	"dedupcr/internal/obs"
 	"dedupcr/internal/storage"
 	"dedupcr/internal/trace"
 )
@@ -93,6 +94,9 @@ func RestoreOutput(c collectives.Comm, store storage.Store, name string, rec *tr
 	m := metrics.Restore{Rank: me, RunLengths: metrics.NewHistogram()}
 	restoreSpan := rec.Begin("restore").Arg("dataset", name)
 	defer restoreSpan.End()
+	// NotePhase labels the goroutine per phase for CPU profiles; drop the
+	// last label once the pipeline is done.
+	defer obs.ClearPhaseLabel()
 
 	// Local reads go through a fresh Timed wrapper so the restore's
 	// read-latency histogram covers exactly this restore. The fetch

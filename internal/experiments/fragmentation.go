@@ -4,12 +4,12 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
-	"os"
 	"sync"
 
 	"dedupcr/internal/collectives"
 	"dedupcr/internal/core"
 	"dedupcr/internal/metrics"
+	"dedupcr/internal/obs"
 	"dedupcr/internal/storage"
 	"dedupcr/internal/telemetry"
 	"dedupcr/internal/trace"
@@ -97,7 +97,7 @@ func runFragmentationScenario(cfg Config, n, k, d, chunksPerRank, chunkSize int)
 	label := fmt.Sprintf("fragmentation N=%d K=%d D=%d", n, k, d)
 	tr.NamePid(pid, label)
 	if cfg.Verbose {
-		fmt.Fprintf(os.Stderr, "[experiments] %s\n", label)
+		obs.Logger().Info("[experiments] " + label)
 	}
 
 	cluster := storage.NewCluster(n)

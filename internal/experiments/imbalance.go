@@ -2,12 +2,12 @@ package experiments
 
 import (
 	"fmt"
-	"os"
 	"sync"
 
 	"dedupcr/internal/collectives"
 	"dedupcr/internal/core"
 	"dedupcr/internal/metrics"
+	"dedupcr/internal/obs"
 	"dedupcr/internal/storage"
 	"dedupcr/internal/telemetry"
 	"dedupcr/internal/trace"
@@ -77,7 +77,7 @@ func runClusterScenario(cfg Config, w Workload, n, k int, approach core.Approach
 	label := fmt.Sprintf("imbalance %s N=%d K=%d %v", w.Name, n, k, approach)
 	tr.NamePid(pid, label)
 	if cfg.Verbose {
-		fmt.Fprintf(os.Stderr, "[experiments] %s\n", label)
+		obs.Logger().Info("[experiments] " + label)
 	}
 
 	cluster := storage.NewCluster(n)

@@ -3,7 +3,6 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"os"
 	"sync"
 
 	"dedupcr/internal/apps/cm1"
@@ -12,6 +11,7 @@ import (
 	"dedupcr/internal/core"
 	"dedupcr/internal/metrics"
 	"dedupcr/internal/netsim"
+	"dedupcr/internal/obs"
 	"dedupcr/internal/storage"
 	"dedupcr/internal/trace"
 )
@@ -167,7 +167,7 @@ func RunScenario(cfg Config, w Workload, n, k int, approach core.Approach, shuff
 
 func runScenarioUncached(cfg Config, w Workload, n, k int, approach core.Approach, shuffle bool) (*ScenarioResult, error) {
 	if cfg.Verbose {
-		fmt.Fprintf(os.Stderr, "[experiments] %s N=%d K=%d %v shuffle=%v\n", w.Name, n, k, approach, shuffle)
+		obs.Logger().Info(fmt.Sprintf("[experiments] %s N=%d K=%d %v shuffle=%v", w.Name, n, k, approach, shuffle))
 	}
 	// One trace process per scenario, one thread per rank.
 	var recs []*trace.Recorder

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Failure is the taxonomy record written as failure.json in a bundle: who
+// failed, where in the pipeline, and why.
+type Failure struct {
+	// Kind classifies the trigger: "collective-error", "rollback",
+	// "kill", "crash-recovery", or "manual".
+	Kind string `json:"kind"`
+	// Rank is the local rank that observed the failure (-1 if unknown).
+	Rank int `json:"rank"`
+	// Ranks lists the ranks implicated in the failure, if attributed.
+	Ranks []int `json:"ranks,omitempty"`
+	// Phase is the pipeline phase at failure time.
+	Phase string `json:"phase,omitempty"`
+	// Cause is the error chain rendered as text.
+	Cause string `json:"cause,omitempty"`
+	// Time is the wall-clock trigger time (RFC3339Nano, UTC). Left
+	// empty by deterministic tests that byte-compare bundles.
+	Time string `json:"time,omitempty"`
+}
+
+var (
+	bundleDirMu sync.Mutex
+	bundleDir   string
+	bundleSeq   atomic.Uint64
+	lastTrigger atomic.Int64
+
+	snapsMu sync.Mutex
+	snaps   map[string]func() any
+)
+
+// suppressWindow collapses cascading triggers: a single failure typically
+// fires failCollective, then rollback, then killComm within milliseconds —
+// one bundle tells the whole story.
+const suppressWindow = time.Second
+
+// SetBundleDir sets the directory post-mortem bundles are written under
+// ("" disables bundling) and resets the duplicate-trigger suppression
+// window. It returns the previous directory.
+func SetBundleDir(dir string) string {
+	bundleDirMu.Lock()
+	prev := bundleDir
+	bundleDir = dir
+	bundleDirMu.Unlock()
+	lastTrigger.Store(0)
+	return prev
+}
+
+// BundleDir returns the current bundle directory ("" when disabled).
+func BundleDir() string {
+	bundleDirMu.Lock()
+	defer bundleDirMu.Unlock()
+	return bundleDir
+}
+
+func init() {
+	if dir := os.Getenv("DEDUPCR_BUNDLE_DIR"); dir != "" {
+		bundleDir = dir
+	}
+}
+
+// RegisterSnapshot registers a named state provider captured into every
+// bundle as <name>.json (metrics.Dump, StoreStats, comm stats, ...).
+// Registering the same name again replaces the provider; a nil fn removes
+// it. Providers must be safe to call from any goroutine at failure time.
+func RegisterSnapshot(name string, fn func() any) {
+	snapsMu.Lock()
+	defer snapsMu.Unlock()
+	if snaps == nil {
+		snaps = make(map[string]func() any)
+	}
+	if fn == nil {
+		delete(snaps, name)
+		return
+	}
+	snaps[name] = fn
+}
+
+func snapshotAll() map[string]any {
+	snapsMu.Lock()
+	fns := make(map[string]func() any, len(snaps))
+	for name, fn := range snaps {
+		fns[name] = fn
+	}
+	snapsMu.Unlock()
+	out := make(map[string]any, len(fns))
+	for name, fn := range fns {
+		out[name] = fn()
+	}
+	return out
+}
+
+// Trigger writes a post-mortem bundle for f under the configured bundle
+// directory: the flight-recorder tail, registered state snapshots, the
+// failure record, and a goroutine dump. It returns the bundle path and
+// whether one was written. Triggers inside the suppression window of a
+// previous one are dropped (a failure cascade is one incident), as are
+// triggers when no bundle directory is configured.
+func Trigger(f Failure) (string, bool) {
+	dir := BundleDir()
+	if dir == "" {
+		return "", false
+	}
+	now := time.Now().UnixNano()
+	last := lastTrigger.Load()
+	if last != 0 && now-last < int64(suppressWindow) {
+		return "", false
+	}
+	if !lastTrigger.CompareAndSwap(last, now) {
+		return "", false
+	}
+	if f.Time == "" {
+		f.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	f.Kind = sanitizeKind(f.Kind)
+	path := filepath.Join(dir, fmt.Sprintf("bundle-%06d-%s", bundleSeq.Add(1), f.Kind))
+	events := Default().Events()
+	Logf(KindError, f.Rank, f.Phase, 0, "post-mortem bundle: %s (%s)", f.Kind, f.Cause)
+	if err := WriteBundle(path, f, snapshotAll(), events); err != nil {
+		fmt.Fprintf(os.Stderr, "obs: writing bundle %s: %v\n", path, err)
+		return "", false
+	}
+	return path, true
+}
+
+func sanitizeKind(kind string) string {
+	if kind == "" {
+		return "manual"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}, kind)
+}
+
+// WriteBundle writes one bundle directory:
+//
+//	events.jsonl     flight-recorder window, one JSON event per line
+//	failure.json     the failure taxonomy record
+//	<name>.json      one file per state snapshot, sorted by name
+//	goroutines.txt   full goroutine stack dump
+//
+// The events and failure files are deterministic given deterministic
+// inputs (json.Marshal field order is fixed by the Event struct).
+func WriteBundle(dir string, f Failure, snapshots map[string]any, events []Event) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var lines strings.Builder
+	for i := range events {
+		b, err := json.Marshal(&events[i])
+		if err != nil {
+			return fmt.Errorf("marshal event %d: %w", events[i].Seq, err)
+		}
+		lines.Write(b)
+		lines.WriteByte('\n')
+	}
+	if err := os.WriteFile(filepath.Join(dir, "events.jsonl"), []byte(lines.String()), 0o644); err != nil {
+		return err
+	}
+	fb, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "failure.json"), append(fb, '\n'), 0o644); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(snapshots))
+	for name := range snapshots {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sb, err := json.MarshalIndent(snapshots[name], "", "  ")
+		if err != nil {
+			sb = []byte(fmt.Sprintf("{\"error\": %q}", err.Error()))
+		}
+		file := sanitizeKind(name) + ".json"
+		if err := os.WriteFile(filepath.Join(dir, file), append(sb, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	return os.WriteFile(filepath.Join(dir, "goroutines.txt"), buf[:n], 0o644)
+}

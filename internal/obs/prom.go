@@ -1,0 +1,18 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePrometheus emits the flight-recorder counters for rank in
+// Prometheus text exposition format (validated by metrics.CheckExposition
+// in tests).
+func (r *Recorder) WritePrometheus(w io.Writer, rank int) {
+	fmt.Fprintf(w, "# HELP dedupcr_obs_events_total Flight-recorder events recorded since process start.\n")
+	fmt.Fprintf(w, "# TYPE dedupcr_obs_events_total counter\n")
+	fmt.Fprintf(w, "dedupcr_obs_events_total{rank=\"%d\"} %d\n", rank, r.Total())
+	fmt.Fprintf(w, "# HELP dedupcr_obs_dropped_total Flight-recorder events overwritten by ring wrap.\n")
+	fmt.Fprintf(w, "# TYPE dedupcr_obs_dropped_total counter\n")
+	fmt.Fprintf(w, "dedupcr_obs_dropped_total{rank=\"%d\"} %d\n", rank, r.Dropped())
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ReadBundleEvents parses a bundle's events.jsonl.
+func ReadBundleEvents(dir string) ([]Event, error) {
+	f, err := os.Open(filepath.Join(dir, "events.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var events []Event
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			return nil, fmt.Errorf("events.jsonl: %w", err)
+		}
+		events = append(events, e)
+	}
+	return events, sc.Err()
+}
+
+// ReadBundleFailure parses a bundle's failure.json.
+func ReadBundleFailure(dir string) (Failure, error) {
+	var f Failure
+	b, err := os.ReadFile(filepath.Join(dir, "failure.json"))
+	if err != nil {
+		return f, err
+	}
+	err = json.Unmarshal(b, &f)
+	return f, err
+}
+
+// RenderBundle prints a human-readable account of a post-mortem bundle:
+// the failure record, the event timeline, and the snapshot inventory.
+// This is the engine behind `dedupstat -bundle`.
+func RenderBundle(w io.Writer, dir string) error {
+	f, err := ReadBundleFailure(dir)
+	if err != nil {
+		return fmt.Errorf("reading failure record: %w", err)
+	}
+	events, err := ReadBundleEvents(dir)
+	if err != nil {
+		return fmt.Errorf("reading event timeline: %w", err)
+	}
+
+	fmt.Fprintf(w, "post-mortem bundle %s\n", dir)
+	fmt.Fprintf(w, "  failure:  %s\n", f.Kind)
+	if f.Rank >= 0 {
+		fmt.Fprintf(w, "  rank:     %d\n", f.Rank)
+	}
+	if len(f.Ranks) > 0 {
+		parts := make([]string, len(f.Ranks))
+		for i, r := range f.Ranks {
+			parts[i] = fmt.Sprintf("%d", r)
+		}
+		fmt.Fprintf(w, "  ranks:    [%s]\n", strings.Join(parts, " "))
+	}
+	if f.Phase != "" {
+		fmt.Fprintf(w, "  phase:    %s\n", f.Phase)
+	}
+	if f.Cause != "" {
+		fmt.Fprintf(w, "  cause:    %s\n", f.Cause)
+	}
+	if f.Time != "" {
+		fmt.Fprintf(w, "  time:     %s\n", f.Time)
+	}
+
+	var lastRound int64 = -1
+	for _, e := range events {
+		if e.Kind == KindColl && e.Round > lastRound {
+			lastRound = e.Round
+		}
+	}
+	if lastRound >= 0 {
+		fmt.Fprintf(w, "  last collective round: %d\n", lastRound)
+	}
+
+	fmt.Fprintf(w, "\ntimeline (%d events):\n", len(events))
+	for _, e := range events {
+		var b strings.Builder
+		fmt.Fprintf(&b, "  %8s %12s %-9s", fmt.Sprintf("#%d", e.Seq),
+			time.Duration(e.TNs).Round(time.Microsecond), e.Kind)
+		if e.Rank >= 0 {
+			fmt.Fprintf(&b, " rank=%d", e.Rank)
+		}
+		if e.Phase != "" {
+			fmt.Fprintf(&b, " phase=%s", e.Phase)
+		}
+		if e.Round != 0 {
+			fmt.Fprintf(&b, " round=%d", e.Round)
+		}
+		if e.Msg != "" {
+			fmt.Fprintf(&b, " %s", e.Msg)
+		}
+		fmt.Fprintln(w, b.String())
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var extras []string
+	for _, ent := range entries {
+		name := ent.Name()
+		if name == "events.jsonl" || name == "failure.json" {
+			continue
+		}
+		extras = append(extras, name)
+	}
+	sort.Strings(extras)
+	if len(extras) > 0 {
+		fmt.Fprintf(w, "\nattached files:\n")
+		for _, name := range extras {
+			fmt.Fprintf(w, "  %s\n", name)
+		}
+	}
+	return nil
+}
+
+// FindBundles lists bundle directories under root, newest-named last.
+func FindBundles(root string) ([]string, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	for _, ent := range entries {
+		if ent.IsDir() && strings.HasPrefix(ent.Name(), "bundle-") {
+			dirs = append(dirs, filepath.Join(root, ent.Name()))
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync"
+)
+
+// The slog front-end: cmds log through obs.Logger(), every record lands in
+// the flight recorder unconditionally, and records at or above the
+// configured level are also printed to the log writer (stderr by default).
+// The ring is the source of truth; the printed stream is a convenience.
+
+var (
+	logMu    sync.Mutex
+	logOut   io.Writer = os.Stderr
+	logLevel slog.LevelVar
+)
+
+// SetLogOutput redirects the printed log stream (the ring is unaffected)
+// and returns the previous writer.
+func SetLogOutput(w io.Writer) io.Writer {
+	logMu.Lock()
+	defer logMu.Unlock()
+	prev := logOut
+	logOut = w
+	return prev
+}
+
+// SetLogLevel sets the minimum level printed to the log writer. Records
+// below the level still land in the flight recorder.
+func SetLogLevel(l slog.Level) { logLevel.Set(l) }
+
+// Logger returns a *slog.Logger backed by the flight recorder.
+func Logger() *slog.Logger { return slog.New(&ringHandler{}) }
+
+type ringHandler struct {
+	attrs []slog.Attr
+	group string
+}
+
+// Enabled always reports true: every record is captured in the ring; the
+// level only gates the printed stream.
+func (h *ringHandler) Enabled(_ context.Context, _ slog.Level) bool { return true }
+
+func (h *ringHandler) Handle(_ context.Context, rec slog.Record) error {
+	rank := -1
+	var b strings.Builder
+	b.WriteString(rec.Message)
+	emit := func(key string, v slog.Value) {
+		if key == "rank" {
+			if n, ok := attrInt(v); ok {
+				rank = n
+				return
+			}
+		}
+		fmt.Fprintf(&b, " %s=%v", key, v.Any())
+	}
+	for _, a := range h.attrs {
+		emit(a.Key, a.Value)
+	}
+	rec.Attrs(func(a slog.Attr) bool {
+		key := a.Key
+		if h.group != "" {
+			key = h.group + "." + key
+		}
+		emit(key, a.Value)
+		return true
+	})
+	msg := b.String()
+	Default().Record(Event{Kind: KindLog, Rank: rank, Msg: rec.Level.String() + " " + msg})
+	if rec.Level >= logLevel.Level() {
+		logMu.Lock()
+		fmt.Fprintf(logOut, "%s %s\n", rec.Level, msg)
+		logMu.Unlock()
+	}
+	return nil
+}
+
+func attrInt(v slog.Value) (int, bool) {
+	switch v.Kind() {
+	case slog.KindInt64:
+		return int(v.Int64()), true
+	case slog.KindUint64:
+		return int(v.Uint64()), true
+	default:
+		return 0, false
+	}
+}
+
+func (h *ringHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := &ringHandler{group: h.group}
+	nh.attrs = append(nh.attrs, h.attrs...)
+	// Resolve the group prefix now so pre-group attrs keep their keys.
+	for _, a := range attrs {
+		if h.group != "" {
+			a.Key = h.group + "." + a.Key
+		}
+		nh.attrs = append(nh.attrs, a)
+	}
+	return nh
+}
+
+func (h *ringHandler) WithGroup(name string) slog.Handler {
+	nh := &ringHandler{attrs: h.attrs, group: name}
+	if h.group != "" {
+		nh.group = h.group + "." + name
+	}
+	return nh
+}

@@ -1,0 +1,90 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+
+	"dedupcr/internal/fingerprint"
+	"dedupcr/internal/obs"
+)
+
+// TestSegCrashRecoveryBundle asserts the crash-point post-mortem path:
+// reopening a store whose previous incarnation died with uncommitted
+// state (stray segment files past the committed manifest) must write a
+// crash-recovery failure bundle to the configured directory.
+func TestSegCrashRecoveryBundle(t *testing.T) {
+	prevRec := obs.SetDefault(obs.New(obs.DefaultRingSize))
+	defer obs.SetDefault(prevRec)
+	bundleRoot := t.TempDir()
+	prevDir := obs.SetBundleDir(bundleRoot)
+	defer obs.SetBundleDir(prevDir)
+
+	dir := t.TempDir()
+	s := openSeg(t, dir)
+	committed := segChunk(0, 1024)
+	if err := s.PutChunk(fingerprint.Of(committed), committed); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Uncommitted tail, then reopen without Close: the simulated kill.
+	for i := 1; i <= 12; i++ {
+		data := segChunk(i, 1024)
+		if err := s.PutChunk(fingerprint.Of(data), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := openSeg(t, dir)
+	defer r.Close()
+
+	bundles, err := obs.FindBundles(bundleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) != 1 {
+		t.Fatalf("crash recovery wrote %d bundles, want 1", len(bundles))
+	}
+	f, err := obs.ReadBundleFailure(bundles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != "crash-recovery" {
+		t.Errorf("failure kind %q, want %q", f.Kind, "crash-recovery")
+	}
+	if !strings.Contains(f.Cause, "discarded") {
+		t.Errorf("failure cause %q does not mention discarded files", f.Cause)
+	}
+	// The timeline must carry the recovery event itself.
+	events, err := obs.ReadBundleEvents(bundles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	haveRecover := false
+	for _, e := range events {
+		if e.Kind == obs.KindRecover {
+			haveRecover = true
+			break
+		}
+	}
+	if !haveRecover {
+		t.Error("bundle timeline carries no recovery event")
+	}
+
+	// A clean reopen (everything committed) must not write a bundle.
+	if err := r.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	clean := openSeg(t, dir)
+	defer clean.Close()
+	bundles, err = obs.FindBundles(bundleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) != 1 {
+		t.Fatalf("clean reopen grew the bundle count to %d, want still 1", len(bundles))
+	}
+}

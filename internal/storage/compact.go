@@ -6,6 +6,8 @@ import (
 	"os"
 	"sort"
 	"time"
+
+	"dedupcr/internal/obs"
 )
 
 // Background compaction: a sealed segment whose tombstoned fraction
@@ -80,6 +82,8 @@ func (s *SegStore) compactLocked() (int, error) {
 	s.counters.SegmentsCompacted += int64(len(victims))
 	s.counters.ReclaimedBytes += reclaimed
 	s.counters.CopiedBytes += copied
+	obs.Logf(obs.KindCompact, -1, "", 0, "compacted %d segments (%d bytes reclaimed, %d copied)",
+		len(victims), reclaimed, copied)
 	return len(victims), nil
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"dedupcr/internal/fingerprint"
 	"dedupcr/internal/metrics"
+	"dedupcr/internal/obs"
 )
 
 // The segment engine: a log-structured, content-addressed Store. Chunks
@@ -172,7 +173,7 @@ func NewSegStore(dir string, cfg SegConfig) (*SegStore, error) {
 // at the named point.
 func (s *SegStore) crash(point string) {
 	if s.cfg.CrashPoint != "" && s.cfg.CrashPoint == point {
-		fmt.Fprintf(os.Stderr, "segstore: injected crash at %q\n", point)
+		obs.Logger().Error("segstore: injected crash", "point", point)
 		os.Exit(crashExitCode)
 	}
 }
@@ -269,6 +270,7 @@ func (s *SegStore) recover() error {
 	if err != nil {
 		return err
 	}
+	discarded := 0
 	for _, e := range entries {
 		name := e.Name()
 		base, _, _ := strings.Cut(name, ".")
@@ -279,9 +281,21 @@ func (s *SegStore) recover() error {
 			}
 		}
 		os.Remove(filepath.Join(s.dir, "segments", name))
+		discarded++
 	}
 	sweepTmp(s.blob.dir)
 	os.Remove(s.manifestPath() + ".tmp")
+	obs.Logf(obs.KindRecover, -1, "", 0, "recovered %q: %d segments, %d chunks, %d files discarded",
+		s.dir, len(s.sealed), s.liveChunks, discarded)
+	if discarded > 0 {
+		// Uncommitted state survived a previous crash and was rolled
+		// back: black-box the recovery so the crash can be debugged
+		// post mortem.
+		obs.Trigger(obs.Failure{
+			Kind: "crash-recovery", Rank: -1,
+			Cause: fmt.Sprintf("recovery of %q discarded %d uncommitted files", s.dir, discarded),
+		})
+	}
 	return nil
 }
 
@@ -388,6 +402,7 @@ func (s *SegStore) sealLocked() error {
 	}
 	s.active = nil
 	s.counters.Seals++
+	obs.Logf(obs.KindSeal, -1, "", 0, "sealed segment %016x (%d bytes, %d live)", a.id, a.len, liveBytes)
 	return nil
 }
 
@@ -421,6 +436,7 @@ func (s *SegStore) commitLocked(prePoint, renamePoint string) error {
 		return err
 	}
 	s.counters.Commits++
+	obs.Logf(obs.KindCommit, -1, "", 0, "manifest committed (%d segments, %d chunks)", len(s.sealed), s.liveChunks)
 	return nil
 }
 

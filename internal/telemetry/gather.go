@@ -5,6 +5,7 @@ import (
 
 	"dedupcr/internal/collectives"
 	"dedupcr/internal/metrics"
+	"dedupcr/internal/obs"
 )
 
 // GatherCluster collects every rank's dump metrics at rank 0 over the
@@ -42,5 +43,16 @@ func GatherCluster(c collectives.Comm, d metrics.Dump, opts Options) (*ClusterDu
 		}
 		dumps[r] = dd
 	}
-	return Aggregate(dumps, opts)
+	cd, err := Aggregate(dumps, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Straggler flags go into the flight recorder on the aggregating
+	// rank: a rank that is repeatedly flagged before a failure is
+	// exactly what a post-mortem timeline should show.
+	for _, st := range cd.Stragglers {
+		obs.Logf(obs.KindStraggler, st.Rank, st.Phase, 0,
+			"straggler: %s vs median %s", st.Duration, st.Median)
+	}
+	return cd, nil
 }

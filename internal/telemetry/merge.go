@@ -135,6 +135,7 @@ func MergeTraces(w io.Writer, ranks []RankTrace, cd *ClusterDump) error {
 		}
 	}
 
+	pruneUnmatchedFlows(merged)
 	sort.SliceStable(merged, func(i, j int) bool {
 		if merged[i].Start != merged[j].Start {
 			return merged[i].Start < merged[j].Start
@@ -142,6 +143,33 @@ func MergeTraces(w io.Writer, ranks []RankTrace, cd *ClusterDump) error {
 		return merged[i].Dur > merged[j].Dur
 	})
 	return trace.WriteChrome(w, merged, pidNames, threadNames)
+}
+
+// pruneUnmatchedFlows strips the flow linkage from wire events whose
+// counterpart did not make it into the merged set (the peer's trace was
+// dropped, truncated, or the rank died mid-frame): the causal arrows the
+// merged trace draws must connect a send to its receive, never dangle.
+// The events themselves stay — only their FlowID/FlowOp are cleared.
+func pruneUnmatchedFlows(evs []trace.Event) {
+	starts := make(map[uint64]int)
+	finishes := make(map[uint64]int)
+	for _, e := range evs {
+		switch e.FlowOp {
+		case trace.FlowStart:
+			starts[e.FlowID]++
+		case trace.FlowFinish:
+			finishes[e.FlowID]++
+		}
+	}
+	for i := range evs {
+		if evs[i].FlowOp == trace.FlowNone {
+			continue
+		}
+		if starts[evs[i].FlowID] == 0 || finishes[evs[i].FlowID] == 0 {
+			evs[i].FlowID = 0
+			evs[i].FlowOp = trace.FlowNone
+		}
+	}
 }
 
 // slowestSpan finds the longest span with the given name.

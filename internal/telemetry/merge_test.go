@@ -160,3 +160,51 @@ func TestSplitByTid(t *testing.T) {
 		t.Errorf("rank field = %d, want 2", ranks[2].Rank)
 	}
 }
+
+// TestMergeTracesFlowPruning checks the causal-edge hygiene of the merged
+// trace: matched wire send/receive pairs keep their flow linkage across
+// ranks, while a send whose receive never made it into the gathered
+// traces is stripped of its flow id (no dangling arrows).
+func TestMergeTracesFlowPruning(t *testing.T) {
+	ms := func(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+	ranks := []RankTrace{
+		{Rank: 0, Events: []trace.Event{
+			{Name: "barrier", Tid: 0, Start: ms(90), Dur: ms(10)},
+			{Name: "wire-send", Tid: 0, Start: ms(10), FlowID: 0x11, FlowOp: trace.FlowStart},
+			{Name: "wire-send", Tid: 0, Start: ms(20), FlowID: 0x22, FlowOp: trace.FlowStart},
+		}},
+		{Rank: 1, Events: []trace.Event{
+			{Name: "barrier", Tid: 0, Start: ms(90), Dur: ms(10)},
+			// Only flow 0x11 has its receive side; 0x22's receiver died.
+			{Name: "wire-recv", Tid: 0, Start: ms(15), FlowID: 0x11, FlowOp: trace.FlowFinish},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := MergeTraces(&buf, ranks, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+			ID string `json:"id"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var starts, finishes []string
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "s":
+			starts = append(starts, e.ID)
+		case "f":
+			finishes = append(finishes, e.ID)
+		}
+	}
+	if len(starts) != 1 || starts[0] != "0x11" {
+		t.Fatalf("flow starts = %v, want exactly [0x11] (0x22 is unmatched)", starts)
+	}
+	if len(finishes) != 1 || finishes[0] != "0x11" {
+		t.Fatalf("flow finishes = %v, want exactly [0x11]", finishes)
+	}
+}

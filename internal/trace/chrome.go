@@ -2,6 +2,7 @@ package trace
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"sort"
@@ -19,6 +20,8 @@ type chromeEvent struct {
 	Dur  float64           `json:"dur,omitempty"`
 	Pid  int               `json:"pid"`
 	Tid  int               `json:"tid"`
+	ID   string            `json:"id,omitempty"`
+	BP   string            `json:"bp,omitempty"`
 	Args map[string]string `json:"args,omitempty"`
 }
 
@@ -73,12 +76,30 @@ func WriteChrome(w io.Writer, events []Event, pidNames map[int]string, threadNam
 		if e.Dur == 0 {
 			ph, dur = "i", 0
 		}
+		ts := float64(e.Start.Nanoseconds()) / 1e3
 		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
 			Name: e.Name, Cat: "dump", Ph: ph,
-			Ts:  float64(e.Start.Nanoseconds()) / 1e3,
+			Ts:  ts,
 			Dur: dur,
 			Pid: e.Pid, Tid: e.Tid, Args: e.Args,
 		})
+		// Flow-linked events additionally emit a Chrome flow event
+		// (ph "s"/"f" sharing an id), which the viewer renders as a
+		// causal arrow between tracks — the sending rank's wire-send to
+		// the receiving rank's wire-recv.
+		if e.FlowOp == FlowStart || e.FlowOp == FlowFinish {
+			fe := chromeEvent{
+				Name: e.Name, Cat: "wire", Ph: string(rune(e.FlowOp)),
+				Ts: ts, Pid: e.Pid, Tid: e.Tid,
+				ID: fmt.Sprintf("0x%x", e.FlowID),
+			}
+			if e.FlowOp == FlowFinish {
+				// Bind to the enclosing slice so arrows land on phase
+				// spans rather than floating instants.
+				fe.BP = "e"
+			}
+			doc.TraceEvents = append(doc.TraceEvents, fe)
+		}
 	}
 
 	enc := json.NewEncoder(w)

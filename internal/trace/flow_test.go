@@ -1,0 +1,82 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"dedupcr/internal/metrics"
+	"dedupcr/internal/trace"
+)
+
+func TestFlowInstantChromeExport(t *testing.T) {
+	var tick time.Duration
+	tr := trace.NewWithClock(func() time.Duration { tick += time.Millisecond; return tick })
+	send := tr.Recorder(0, 0, "rank 0")
+	recv := tr.Recorder(0, 1, "rank 1")
+	send.FlowInstant("wire-send", 0xABC, trace.FlowStart, map[string]string{"to": "1"})
+	recv.FlowInstant("wire-recv", 0xABC, trace.FlowFinish, map[string]string{"from": "0"})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Cat  string `json:"cat"`
+			ID   string `json:"id"`
+			BP   string `json:"bp"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var flowStart, flowFinish bool
+	for _, e := range doc.TraceEvents {
+		if e.Cat != "wire" {
+			continue
+		}
+		switch e.Ph {
+		case "s":
+			flowStart = true
+			if e.ID != "0xabc" || e.Tid != 0 {
+				t.Errorf("flow start wrong: %+v", e)
+			}
+			if e.BP != "" {
+				t.Errorf("flow start must not carry bp: %+v", e)
+			}
+		case "f":
+			flowFinish = true
+			if e.ID != "0xabc" || e.Tid != 1 || e.BP != "e" {
+				t.Errorf("flow finish wrong: %+v", e)
+			}
+		}
+	}
+	if !flowStart || !flowFinish {
+		t.Fatalf("flow events missing from export (start %v finish %v):\n%s",
+			flowStart, flowFinish, buf.String())
+	}
+	// The plain instants are still exported alongside the flow events.
+	if !strings.Contains(buf.String(), `"wire-send"`) {
+		t.Fatal("wire-send instant missing")
+	}
+}
+
+func TestTracePrometheusExposition(t *testing.T) {
+	tr := trace.New()
+	rec := tr.Recorder(0, 3, "rank 3")
+	rec.Instant("x")
+	var buf bytes.Buffer
+	tr.WritePrometheus(&buf, 3)
+	if err := metrics.CheckExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), `dedupcr_trace_dropped_total{rank="3"} 0`) {
+		t.Fatalf("dropped counter missing:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,17 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePrometheus emits the trace plane's health counter for rank in
+// Prometheus text exposition format. A non-zero drop count means every
+// export and coverage figure is computed over an incomplete span set
+// (see Dropped), so the counter belongs next to the phase metrics on
+// every scrape.
+func (t *Trace) WritePrometheus(w io.Writer, rank int) {
+	fmt.Fprintf(w, "# HELP dedupcr_trace_dropped_total Trace spans discarded after a recorder hit its block cap.\n")
+	fmt.Fprintf(w, "# TYPE dedupcr_trace_dropped_total counter\n")
+	fmt.Fprintf(w, "dedupcr_trace_dropped_total{rank=\"%d\"} %d\n", rank, t.Dropped())
+}

@@ -47,7 +47,26 @@ type Event struct {
 	// Args are optional key/value annotations shown when the slice is
 	// selected in the viewer.
 	Args map[string]string
+	// FlowID links this event into a cross-track causal flow (a wire
+	// send/receive pair); 0 with FlowNone means no flow. The viewer draws
+	// an arrow from the FlowStart event to the FlowFinish event sharing
+	// the id.
+	FlowID uint64
+	// FlowOp is the event's role in its flow.
+	FlowOp FlowOp
 }
+
+// FlowOp marks an event's role in a cross-track causal flow.
+type FlowOp byte
+
+const (
+	// FlowNone is the zero value: not part of a flow.
+	FlowNone FlowOp = 0
+	// FlowStart begins a flow (the sending side of a wire frame).
+	FlowStart FlowOp = 's'
+	// FlowFinish ends a flow (the receiving side of a wire frame).
+	FlowFinish FlowOp = 'f'
+)
 
 // End returns the span's end time relative to the trace origin.
 func (e Event) End() time.Duration { return e.Start + e.Dur }
@@ -257,6 +276,21 @@ func (r *Recorder) Instant(name string) {
 	}
 	now := r.trace.clock()
 	r.append(Event{Name: name, Pid: r.pid, Tid: r.tid, Start: now})
+}
+
+// FlowInstant records a zero-duration marker that participates in the
+// cross-track flow id (the causal arrows of the merged cluster trace).
+// The wire layer records a FlowStart on the sending rank and a FlowFinish
+// with the same id on the receiving rank.
+func (r *Recorder) FlowInstant(name string, id uint64, op FlowOp, args map[string]string) {
+	if r == nil {
+		return
+	}
+	now := r.trace.clock()
+	r.append(Event{
+		Name: name, Pid: r.pid, Tid: r.tid, Start: now,
+		Args: args, FlowID: id, FlowOp: op,
+	})
 }
 
 // append pushes a completed event, lock-free: reserve a slot with an
