@@ -31,6 +31,8 @@ lint: vet
 
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzCDCChunker -fuzztime 30s ./internal/chunk
+	$(GO) test -run '^$$' -fuzz FuzzGearChunker -fuzztime 30s ./internal/chunk/gear
+	$(GO) test -run '^$$' -fuzz FuzzBatchOf -fuzztime 30s ./internal/fingerprint
 	$(GO) test -run '^$$' -fuzz FuzzFrameRoundTrip -fuzztime 30s ./internal/collectives
 	$(GO) test -run '^$$' -fuzz FuzzAbortMessage -fuzztime 30s ./internal/collectives
 	$(GO) test -run '^$$' -fuzz FuzzFrameTraceContextDecode -fuzztime 30s ./internal/collectives

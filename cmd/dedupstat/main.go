@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dedupstat [-chunk 4096] [-cdc] file...
+//	dedupstat [-chunk 4096] [-chunker fixed|cdc|gear] file...
 //	dedupstat -cluster cluster.json
 //	dedupstat -bundle DIR
 //
@@ -37,18 +37,22 @@ import (
 
 	"dedupcr/internal/chunk"
 	"dedupcr/internal/fingerprint"
+
+	// Register the gear chunker so -chunker gear resolves.
+	_ "dedupcr/internal/chunk/gear"
 	"dedupcr/internal/metrics"
 	"dedupcr/internal/obs"
 	"dedupcr/internal/telemetry"
 )
 
 func main() {
-	chunkSize := flag.Int("chunk", chunk.DefaultSize, "fixed chunk size in bytes")
-	cdc := flag.Bool("cdc", false, "use content-defined chunking instead of fixed-size")
+	chunkSize := flag.Int("chunk", chunk.DefaultSize, "chunk size in bytes (target average for cdc/gear)")
+	chunkerName := flag.String("chunker", "", "chunking algorithm: fixed, cdc or gear (default fixed)")
+	cdc := flag.Bool("cdc", false, "deprecated: same as -chunker cdc")
 	clusterIn := flag.String("cluster", "", "render this cluster telemetry JSON file (dump and/or restore reports) as tables and exit")
 	bundleIn := flag.String("bundle", "", "render this post-mortem failure bundle directory (or every bundle-* under it) as a timeline and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dedupstat [-chunk N] [-cdc] file...\n")
+		fmt.Fprintf(os.Stderr, "usage: dedupstat [-chunk N] [-chunker fixed|cdc|gear] file...\n")
 		fmt.Fprintf(os.Stderr, "       dedupstat -cluster cluster.json\n")
 		fmt.Fprintf(os.Stderr, "       dedupstat -bundle DIR\n")
 		flag.PrintDefaults()
@@ -73,9 +77,24 @@ func main() {
 		os.Exit(2)
 	}
 
-	var chunker chunk.CutChunker = chunk.NewFixed(*chunkSize)
+	algo, err := chunk.ParseAlgo(*chunkerName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dedupstat: %v\n", err)
+		os.Exit(2)
+	}
 	if *cdc {
-		chunker = chunk.NewContentDefined(*chunkSize)
+		// Deprecated alias: -cdc still selects CDC, but combining it with
+		// a conflicting -chunker is an error, not a silent preference.
+		if algo != chunk.AlgoFixed && algo != chunk.AlgoRabin {
+			fmt.Fprintf(os.Stderr, "dedupstat: -cdc (deprecated) conflicts with -chunker %s\n", algo)
+			os.Exit(2)
+		}
+		algo = chunk.AlgoRabin
+	}
+	chunker, err := chunk.New(chunk.Spec{Algo: algo, Size: *chunkSize})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dedupstat: %v\n", err)
+		os.Exit(2)
 	}
 
 	globalSize := make(map[fingerprint.FP]int64)

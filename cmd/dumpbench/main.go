@@ -18,9 +18,13 @@ import (
 	"os"
 	"time"
 
+	"dedupcr/internal/chunk"
 	"dedupcr/internal/experiments"
 	"dedupcr/internal/telemetry"
 	"dedupcr/internal/trace"
+
+	// Register the gear chunker so -chunker gear resolves.
+	_ "dedupcr/internal/chunk/gear"
 )
 
 func main() {
@@ -32,9 +36,10 @@ func main() {
 	clusterTrace := flag.String("cluster-trace", "", "write a merged cross-rank Chrome trace (one pid per rank) of the last telemetry-aggregating scenario to this file")
 	restoreStats := flag.Bool("restore-stats", false, "print the cluster restore telemetry report of every restore-aggregating scenario (read amplification, locality, stragglers)")
 	parallelism := flag.Int("parallelism", 0, "per-rank worker budget for the dump hot path (0 = GOMAXPROCS, 1 = serial reference)")
+	chunker := flag.String("chunker", "fixed", "chunking algorithm for every dump: fixed, cdc or gear")
 	timeout := flag.Duration("timeout", 0, "abort each collective scenario after this long (0 = no deadline)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dumpbench [-quick] [-v] [-parallelism n] [-trace out.json] [-cluster out.json] [-cluster-trace out.json] [-restore-stats] <experiment-id>... | all\n")
+		fmt.Fprintf(os.Stderr, "usage: dumpbench [-quick] [-v] [-parallelism n] [-chunker fixed|cdc|gear] [-trace out.json] [-cluster out.json] [-cluster-trace out.json] [-restore-stats] <experiment-id>... | all\n")
 		fmt.Fprintf(os.Stderr, "       dumpbench -list\n")
 		flag.PrintDefaults()
 	}
@@ -61,7 +66,13 @@ func main() {
 		ids = args
 	}
 
-	cfg := experiments.Config{Quick: *quick, Verbose: *verbose, Parallelism: *parallelism, Timeout: *timeout}
+	algo, err := chunk.ParseAlgo(*chunker)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dumpbench: %v\n", err)
+		os.Exit(2)
+	}
+
+	cfg := experiments.Config{Quick: *quick, Verbose: *verbose, Parallelism: *parallelism, Chunker: algo, Timeout: *timeout}
 	if *traceOut != "" {
 		cfg.Trace = trace.New()
 	}

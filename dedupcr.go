@@ -20,6 +20,7 @@ package dedupcr
 import (
 	"context"
 
+	"dedupcr/internal/chunk"
 	"dedupcr/internal/collectives"
 	"dedupcr/internal/core"
 	"dedupcr/internal/ftrun"
@@ -95,7 +96,30 @@ type (
 	// RetryPolicy bounds retries of transient transport failures during
 	// the window-put exchange (Options.Retry).
 	RetryPolicy = core.RetryPolicy
+	// ChunkerSpec selects the chunking algorithm and size
+	// (Options.Chunker): fixed-size, Rabin CDC, or gear-hash CDC with
+	// its arch-selected fast path. The zero value is fixed/4 KiB.
+	ChunkerSpec = chunk.Spec
+	// ChunkerAlgo names a chunking algorithm (ChunkerSpec.Algo).
+	ChunkerAlgo = chunk.Algo
 )
+
+// The chunking algorithms a ChunkerSpec can select.
+const (
+	// ChunkerFixed is fixed-size chunking, the paper's page model (the
+	// zero value, so the default for Options that never set a chunker).
+	ChunkerFixed = chunk.AlgoFixed
+	// ChunkerCDC is the rolling Rabin-style content-defined chunker.
+	ChunkerCDC = chunk.AlgoRabin
+	// ChunkerGear is the gear-hash content-defined chunker: boundary-
+	// compatible bounds discipline with ChunkerCDC at a fraction of the
+	// per-byte cost (one table lookup + shift-add, unrolled fast path on
+	// amd64/arm64).
+	ChunkerGear = chunk.AlgoGear
+)
+
+// ParseChunker parses a CLI chunker name: fixed | cdc | gear.
+func ParseChunker(s string) (ChunkerAlgo, error) { return chunk.ParseAlgo(s) }
 
 // Failure model: typed errors, collective abort, fault injection.
 type (

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"strings"
 	"testing"
 
 	"dedupcr"
@@ -31,6 +32,16 @@ var (
 	_ func(*dedupcr.Runtime, context.Context) (*dedupcr.Result, error) = (*dedupcr.Runtime).CheckpointCtx
 	_ func(*dedupcr.Runtime) (int, error)                              = (*dedupcr.Runtime).Restart
 	_ func(*dedupcr.Runtime, context.Context) (int, error)             = (*dedupcr.Runtime).RestartCtx
+
+	// Chunker-spec API: Options selects chunking through a first-class
+	// spec (algo + size); the three algorithm constants and the CLI
+	// parser are part of the locked surface. The deprecated
+	// Options.ContentDefined bool must also keep compiling until its
+	// removal is a conscious break.
+	_ dedupcr.ChunkerSpec                       = dedupcr.ChunkerSpec{Algo: dedupcr.ChunkerGear, Size: 4096}
+	_ []dedupcr.ChunkerAlgo                     = []dedupcr.ChunkerAlgo{dedupcr.ChunkerFixed, dedupcr.ChunkerCDC, dedupcr.ChunkerGear}
+	_ func(string) (dedupcr.ChunkerAlgo, error) = dedupcr.ParseChunker
+	_ dedupcr.Options                           = dedupcr.Options{Chunker: dedupcr.ChunkerSpec{Algo: dedupcr.ChunkerCDC}, ContentDefined: false}
 )
 
 // TestCollectiveErrorTaxonomy pins the errors.Is/As contract of the
@@ -128,6 +139,62 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	}
 	if b, c := cluster.TotalUsage(); b != 0 || c != 0 {
 		t.Fatalf("storage not reclaimed: %d bytes / %d chunks", b, c)
+	}
+}
+
+// TestPublicAPIChunkerSpec dumps and restores through every chunking
+// algorithm the spec API can name, exactly as a downstream user would,
+// and pins the deprecated-alias contract: ContentDefined still selects
+// CDC chunking, and combining it with a non-fixed Chunker is an error,
+// not a silent preference.
+func TestPublicAPIChunkerSpec(t *testing.T) {
+	const n, k = 4, 2
+	for _, algo := range []dedupcr.ChunkerAlgo{dedupcr.ChunkerFixed, dedupcr.ChunkerCDC, dedupcr.ChunkerGear} {
+		cluster := dedupcr.NewCluster(n)
+		err := dedupcr.Run(n, func(c dedupcr.Comm) error {
+			buf := bytes.Repeat([]byte(fmt.Sprintf("rank%d chunker %s ", c.Rank()%2, algo)), 2048)
+			_, err := dedupcr.DumpOutput(c, cluster.Node(c.Rank()), buf, dedupcr.Options{
+				K: k, Approach: dedupcr.CollDedup, Name: "spec",
+				Chunker: dedupcr.ChunkerSpec{Algo: algo, Size: 256},
+			})
+			if err != nil {
+				return err
+			}
+			got, err := dedupcr.Restore(c, cluster.Node(c.Rank()), "spec")
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, buf) {
+				return fmt.Errorf("rank %d: %s restore mismatch", c.Rank(), algo)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("chunker %s: %v", algo, err)
+		}
+	}
+
+	// Deprecated alias still works...
+	cluster := dedupcr.NewCluster(1)
+	err := dedupcr.Run(1, func(c dedupcr.Comm) error {
+		_, err := dedupcr.DumpOutput(c, cluster.Node(0), bytes.Repeat([]byte("x"), 8192), dedupcr.Options{
+			K: 1, Name: "legacy", ContentDefined: true, ChunkSize: 256,
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatalf("deprecated ContentDefined alias broke: %v", err)
+	}
+	// ...and conflicts loudly with the spec.
+	err = dedupcr.Run(1, func(c dedupcr.Comm) error {
+		_, err := dedupcr.DumpOutput(c, cluster.Node(0), make([]byte, 4096), dedupcr.Options{
+			K: 1, ContentDefined: true,
+			Chunker: dedupcr.ChunkerSpec{Algo: dedupcr.ChunkerGear},
+		})
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "conflicts") {
+		t.Fatalf("ContentDefined+Chunker conflict not rejected: %v", err)
 	}
 }
 

@@ -5,9 +5,11 @@
 // order, wall-clock reads, or the process-seeded global random source.
 //
 // Scope: every function of a package whose import path ends in
-// internal/fingerprint (the whole package is HMERGE decision state), plus
-// any function anywhere annotated with a `//dedupvet:deterministic` doc
-// comment. Within scope the analyzer flags:
+// internal/fingerprint (the whole package is HMERGE decision state) or
+// internal/chunk/gear (gear table init and the boundary scan decide
+// chunk boundaries collectively), plus any function anywhere annotated
+// with a `//dedupvet:deterministic` doc comment. Within scope the
+// analyzer flags:
 //
 //   - `range` statements over map-typed expressions (nondeterministic
 //     iteration order — sort the keys first),
@@ -45,6 +47,9 @@ const Suppression = "ordered"
 // their entirety: their output is merged or compared across ranks.
 var sensitivePkgSuffixes = []string{
 	"internal/fingerprint",
+	// The gear chunker's table init and boundary scan decide chunk
+	// boundaries — collective decision state shared by every rank.
+	"internal/chunk/gear",
 }
 
 // seededRandFuncs are the math/rand constructors that do NOT draw from the

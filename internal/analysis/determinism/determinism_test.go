@@ -8,5 +8,5 @@ import (
 )
 
 func TestDeterminism(t *testing.T) {
-	analysistest.Run(t, determinism.Analyzer, "internal/fingerprint", "app")
+	analysistest.Run(t, determinism.Analyzer, "internal/fingerprint", "internal/chunk/gear", "app")
 }

@@ -1,0 +1,59 @@
+// Package gear is a determinism fixture: like the real
+// internal/chunk/gear package its table init and boundary scan are
+// collective decision state, so every function is in scope without
+// annotation.
+package gear
+
+import (
+	"math/rand"
+	"time"
+)
+
+var table [256]uint64
+
+// InitTableSeeded fills the gear table from a fixed xorshift stream:
+// deterministic, never flagged.
+func InitTableSeeded() {
+	x := uint64(0xA5A35730)
+	for i := range table {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		table[i] = x * 0x2545F4914F6CDD1D
+	}
+}
+
+// InitTableRandom seeds the table from the process-global source: ranks
+// would cut at different boundaries.
+func InitTableRandom() {
+	for i := range table {
+		table[i] = rand.Uint64() // want "rand.Uint64 draws from the process-global random source"
+	}
+}
+
+// InitTableClocked mixes the wall clock into the table.
+func InitTableClocked() {
+	table[0] = uint64(time.Now().UnixNano()) // want "time.Now in collective-deterministic code"
+}
+
+// CutStats ranges over a map while deciding boundaries.
+func CutStats(sizes map[int]int) int {
+	total := 0
+	for sz := range sizes { // want "range over map sizes has nondeterministic order"
+		total += sz
+	}
+	return total
+}
+
+// Scan is the hot loop: slice iteration and arithmetic only, never
+// flagged.
+func Scan(buf []byte, mask uint64) int {
+	var h uint64
+	for i, b := range buf {
+		h = h<<1 + table[b]
+		if h&mask == 0 {
+			return i + 1
+		}
+	}
+	return len(buf)
+}

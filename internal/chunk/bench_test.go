@@ -47,6 +47,19 @@ func BenchmarkContentDefinedSplit(b *testing.B) {
 	}
 }
 
+// BenchmarkContentDefinedCuts isolates the Rabin boundary scan (no
+// fingerprinting) — the number the gear chunker's scan is measured
+// against.
+func BenchmarkContentDefinedCuts(b *testing.B) {
+	buf := benchBuf(1 << 22)
+	c := NewContentDefined(4096)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Cuts(buf)
+	}
+}
+
 // BenchmarkRecipeAssemble measures dataset reconstruction from a chunk
 // index — the restore hot path.
 func BenchmarkRecipeAssemble(b *testing.B) {

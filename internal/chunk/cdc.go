@@ -19,8 +19,10 @@ type ContentDefined struct {
 const cdcWindow = 48
 
 // NewContentDefined builds a content-defined chunker with an expected
-// chunk size of avg bytes (rounded to a power of two), min = avg/4 and
-// max = avg*4. avg <= 0 selects DefaultSize.
+// chunk size of avg bytes (rounded up to a power of two), Min = Avg/4
+// and Max = Avg*4 — all three derived from the rounded value, so the
+// Min:Avg:Max ratio holds for non-power-of-two requests too. avg <= 0
+// selects DefaultSize.
 func NewContentDefined(avg int) *ContentDefined {
 	if avg <= 0 {
 		avg = DefaultSize
@@ -29,10 +31,11 @@ func NewContentDefined(avg int) *ContentDefined {
 	for 1<<bits < avg {
 		bits++
 	}
+	rounded := 1 << bits
 	c := &ContentDefined{
-		Min:  avg / 4,
-		Avg:  1 << bits,
-		Max:  avg * 4,
+		Min:  rounded / 4,
+		Avg:  rounded,
+		Max:  rounded * 4,
 		mask: 1<<bits - 1,
 	}
 	if c.Min < cdcWindow {
@@ -57,7 +60,10 @@ func (c *ContentDefined) Split(buf []byte) []Chunk {
 
 // Cuts implements CutChunker.
 func (c *ContentDefined) Cuts(buf []byte) []int {
-	var out []int
+	if len(buf) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(buf)/c.Avg+1)
 	off := 0
 	for off < len(buf) {
 		off += c.cutPoint(buf[off:])

@@ -42,15 +42,35 @@ type CutChunker interface {
 	Cuts(buf []byte) []int
 }
 
+// fpBatchSize is how many consecutive chunks are fingerprinted per
+// fingerprint.BatchOf call: large enough to amortize the batch setup,
+// small enough that the spans are still cache-resident from the
+// boundary scan. It matches hashShardChunks so a parallel shard is
+// exactly one batch.
+const fpBatchSize = 64
+
 // FromCuts fingerprints the chunks delimited by the given end offsets
-// (as returned by Cuts) into Chunk values aliasing buf.
+// (as returned by Cuts) into Chunk values aliasing buf. Hashing runs in
+// cache-friendly batches through fingerprint.BatchOf; the result is
+// identical to fingerprinting each chunk individually.
 func FromCuts(buf []byte, cuts []int) []Chunk {
 	out := make([]Chunk, len(cuts))
+	var fps [fpBatchSize]fingerprint.FP
+	var spans [fpBatchSize][]byte
 	prev := 0
-	for i, end := range cuts {
-		data := buf[prev:end]
-		out[i] = Chunk{FP: fingerprint.Of(data), Data: data}
-		prev = end
+	for base := 0; base < len(cuts); base += fpBatchSize {
+		n := len(cuts) - base
+		if n > fpBatchSize {
+			n = fpBatchSize
+		}
+		for j := 0; j < n; j++ {
+			spans[j] = buf[prev:cuts[base+j]]
+			prev = cuts[base+j]
+		}
+		fingerprint.BatchOf(fps[:n], spans[:n]...)
+		for j := 0; j < n; j++ {
+			out[base+j] = Chunk{FP: fps[j], Data: spans[j]}
+		}
 	}
 	return out
 }

@@ -199,6 +199,35 @@ func TestContentDefinedShiftResistance(t *testing.T) {
 	}
 }
 
+// TestContentDefinedBoundsFromRoundedAvg is the regression test for the
+// Min/Max derivation bug: a non-power-of-two request must derive Min and
+// Max from the ROUNDED average, not the raw one, so the 1:4:16 ratio
+// always holds and Max is never less than 4× the effective average.
+func TestContentDefinedBoundsFromRoundedAvg(t *testing.T) {
+	cases := []struct {
+		avg, wantMin, wantAvg, wantMax int
+	}{
+		{512, 128, 512, 2048},
+		{500, 128, 512, 2048}, // rounds up to 512; bounds follow the rounded value
+		{4097, 2048, 8192, 32768},
+		{100, 48, 128, 512}, // Min clamped to the 48-byte window
+		{0, 1024, 4096, 16384},
+	}
+	for _, tc := range cases {
+		c := NewContentDefined(tc.avg)
+		if c.Min != tc.wantMin || c.Avg != tc.wantAvg || c.Max != tc.wantMax {
+			t.Errorf("NewContentDefined(%d) = min/avg/max %d/%d/%d, want %d/%d/%d",
+				tc.avg, c.Min, c.Avg, c.Max, tc.wantMin, tc.wantAvg, tc.wantMax)
+		}
+		if c.Max < 4*c.Avg {
+			t.Errorf("NewContentDefined(%d): Max %d < 4×Avg %d", tc.avg, c.Max, c.Avg)
+		}
+	}
+	if cuts := NewContentDefined(512).Cuts(nil); cuts != nil {
+		t.Errorf("empty buffer produced cuts %v", cuts)
+	}
+}
+
 func TestContentDefinedDeterministic(t *testing.T) {
 	buf := make([]byte, 32*1024)
 	rand.New(rand.NewSource(5)).Read(buf)

@@ -1,0 +1,27 @@
+package gear
+
+// cutGeneric is the reference boundary scan: the simplest loop that is
+// obviously correct. It is compiled on every architecture — the selected
+// fast path must match it cut for cut (see the differential fuzzer) —
+// and is the implementation the purego build tag forces.
+//
+// buf is already clamped to Max by the caller; minSize > 0 and
+// minSize < len(buf) hold (cutPoint handles the short-buffer case), and
+// minSize >= Window by construction of the chunker.
+func cutGeneric(buf []byte, minSize int, mask uint64) int {
+	var h uint64
+	// Skip-scan: the accumulator at position p depends only on bytes
+	// (p-Window, p], so priming can start Window bytes before the first
+	// position the cut condition may fire at. Bytes before that would
+	// have shifted entirely out of the 64-bit state.
+	for i := minSize - Window; i < minSize; i++ {
+		h = h<<1 + table[buf[i]]
+	}
+	for i := minSize; i < len(buf); i++ {
+		h = h<<1 + table[buf[i]]
+		if h&mask == 0 {
+			return i + 1
+		}
+	}
+	return len(buf)
+}

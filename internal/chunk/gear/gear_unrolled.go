@@ -1,0 +1,64 @@
+package gear
+
+// cutUnrolled is the fast boundary scan selected on amd64 and arm64: the
+// same recurrence as cutGeneric, eight positions per loop iteration over
+// a re-sliced 8-byte block. The full-slice re-slice (b := buf[i:i+8:i+8])
+// lets the compiler prove every inner index in-bounds, so the hot loop
+// compiles to straight shift-add-lookup chains with no bounds checks and
+// no per-byte loop overhead — the compiler-friendly shape of the SIMD
+// skip-scanning kernels in the vector-chunking literature, without hand
+// assembly. It is compiled (and differentially tested) on every
+// architecture; init only selects it where it has been benchmarked to
+// win.
+func cutUnrolled(buf []byte, minSize int, mask uint64) int {
+	var h uint64
+	// Same skip-scan priming as the reference: only the trailing Window
+	// bytes before minSize can still influence the accumulator.
+	for i := minSize - Window; i < minSize; i++ {
+		h = h<<1 + table[buf[i]]
+	}
+	n := len(buf)
+	i := minSize
+	for ; i+8 <= n; i += 8 {
+		b := buf[i : i+8 : i+8]
+		h = h<<1 + table[b[0]]
+		if h&mask == 0 {
+			return i + 1
+		}
+		h = h<<1 + table[b[1]]
+		if h&mask == 0 {
+			return i + 2
+		}
+		h = h<<1 + table[b[2]]
+		if h&mask == 0 {
+			return i + 3
+		}
+		h = h<<1 + table[b[3]]
+		if h&mask == 0 {
+			return i + 4
+		}
+		h = h<<1 + table[b[4]]
+		if h&mask == 0 {
+			return i + 5
+		}
+		h = h<<1 + table[b[5]]
+		if h&mask == 0 {
+			return i + 6
+		}
+		h = h<<1 + table[b[6]]
+		if h&mask == 0 {
+			return i + 7
+		}
+		h = h<<1 + table[b[7]]
+		if h&mask == 0 {
+			return i + 8
+		}
+	}
+	for ; i < n; i++ {
+		h = h<<1 + table[buf[i]]
+		if h&mask == 0 {
+			return i + 1
+		}
+	}
+	return n
+}

@@ -1,0 +1,14 @@
+//go:build amd64 && !purego
+
+package gear
+
+// On amd64 the unrolled scan is selected unconditionally: SSE2 is part
+// of the architecture baseline, every 64-bit x86 core has the superscalar
+// shift-add-load pipeline the unrolled kernel is shaped for, and the Go
+// compiler needs no feature detection to emit it. The purego tag forces
+// the generic reference instead (CI runs the chunk tests that way to
+// exercise the fallback on amd64).
+func init() {
+	cut = cutUnrolled
+	implName = "unrolled-amd64"
+}

@@ -1,0 +1,11 @@
+//go:build arm64 && !purego
+
+package gear
+
+// On arm64 the unrolled scan is selected unconditionally: NEON and the
+// wide integer pipeline are architecture baseline, so no runtime feature
+// detection is needed. The purego tag forces the generic reference.
+func init() {
+	cut = cutUnrolled
+	implName = "unrolled-arm64"
+}

@@ -1,0 +1,11 @@
+//go:build purego || (!amd64 && !arm64)
+
+package gear
+
+// Generic fallback: architectures without a benchmarked fast path, and
+// every architecture under the purego build tag (CI forces it on amd64
+// so the fallback stays boundary-identical to the selected path).
+func init() {
+	cut = cutGeneric
+	implName = "generic"
+}

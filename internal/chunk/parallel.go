@@ -69,6 +69,11 @@ func FromCutsStream(buf []byte, cuts []int, workers int, emit func(span []Chunk)
 		go func(w int) {
 			defer wg.Done()
 			start := time.Now()
+			// Per-worker batch scratch: one shard is at most one
+			// fingerprint batch, hashed with a single reused digest
+			// while the spans are cache-resident from the claim.
+			var fps [hashShardChunks]fingerprint.FP
+			var spans [hashShardChunks][]byte
 			for {
 				s := int(next.Add(1) - 1)
 				if s >= nShards {
@@ -84,9 +89,12 @@ func FromCutsStream(buf []byte, cuts []int, workers int, emit func(span []Chunk)
 					prev = cuts[lo-1]
 				}
 				for i := lo; i < hi; i++ {
-					data := buf[prev:cuts[i]]
-					out[i] = Chunk{FP: fingerprint.Of(data), Data: data}
+					spans[i-lo] = buf[prev:cuts[i]]
 					prev = cuts[i]
+				}
+				fingerprint.BatchOf(fps[:hi-lo], spans[:hi-lo]...)
+				for i := lo; i < hi; i++ {
+					out[i] = Chunk{FP: fps[i-lo], Data: spans[i-lo]}
 				}
 				completed <- s
 			}

@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"dedupcr/internal/chunk"
+	// Register the gear chunker so Options.Chunker can name it.
+	_ "dedupcr/internal/chunk/gear"
 	"dedupcr/internal/collectives"
 	"dedupcr/internal/fingerprint"
 	"dedupcr/internal/metrics"
@@ -175,9 +177,11 @@ func dumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options, 
 	}
 
 	// Phase 1 — chunking and fingerprinting (every byte is hashed once).
-	// Both built-in chunkers expose their boundary scan separately from
-	// hashing (chunk.CutChunker), so the two costs are attributed to their
-	// own phases. With Parallelism > 1 the hashing fans out over a bounded
+	// Every registered chunker (fixed, Rabin CDC, gear) exposes its
+	// boundary scan separately from hashing (chunk.CutChunker), so the two
+	// costs are attributed to their own phases regardless of which spec
+	// Options.Chunker selected. Hashing runs in cache-friendly batches
+	// (fingerprint.BatchOf). With Parallelism > 1 it fans out over a bounded
 	// worker pool and phase 2 (plus the reduction's leaf-table build, for
 	// coll-dedup) overlaps it: finished chunks stream to the dedup filter
 	// in dataset order while later chunks are still being hashed, so the
@@ -185,18 +189,19 @@ func dumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options, 
 	// produce identical chunks, identical uniq order and an identical leaf
 	// table — the serial path is the reference the parallel one must match
 	// byte for byte.
-	var chunker chunk.Chunker = chunk.NewFixed(o.ChunkSize)
-	if o.ContentDefined {
-		chunker = chunk.NewContentDefined(o.ChunkSize)
+	cc, err := chunk.New(o.Chunker)
+	if err != nil {
+		// Unreachable after normalization validated the spec; fail loudly
+		// rather than silently substituting a default chunker.
+		return nil, fmt.Errorf("rank %d chunker: %w", me, err)
 	}
 	var chunks, uniq []chunk.Chunk
 	// leaf is the prebuilt reduction input (parallel coll-dedup only);
 	// reduceGlobal builds its own when nil.
 	var leaf *fingerprint.Table
-	cc, isCut := chunker.(chunk.CutChunker)
 	var done func()
 	switch {
-	case isCut && o.Parallelism > 1:
+	case o.Parallelism > 1:
 		done = begin("chunking", &m.Phases.Chunking)
 		cuts := cc.Cuts(buf)
 		done()
@@ -228,19 +233,12 @@ func dumpOutput(c collectives.Comm, store storage.Store, buf []byte, o Options, 
 			leaf.Trim()
 		}
 		done()
-	case isCut:
+	default:
 		done = begin("chunking", &m.Phases.Chunking)
 		cuts := cc.Cuts(buf)
 		done()
 		done = begin("fingerprint", &m.Phases.Fingerprint)
 		chunks = chunk.FromCuts(buf, cuts)
-		done()
-		done = begin("local-dedup", &m.Phases.LocalDedup)
-		uniq = localDedup(chunks)
-		done()
-	default:
-		done = begin("chunking", &m.Phases.Chunking)
-		chunks = chunker.Split(buf)
 		done()
 		done = begin("local-dedup", &m.Phases.LocalDedup)
 		uniq = localDedup(chunks)

@@ -62,6 +62,60 @@ func TestOptionsNormalization(t *testing.T) {
 	}
 }
 
+// TestOptionsChunkerNormalization pins the chunker-spec rules: zero
+// values keep fixed/4KiB, the spec and the legacy ChunkSize agree or
+// error, the deprecated ContentDefined bool folds into the spec, and
+// contradictory combinations fail loudly.
+func TestOptionsChunkerNormalization(t *testing.T) {
+	// Zero value: fixed at DefaultSize, mirrored both ways.
+	o, err := Options{K: 1}.normalized(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Chunker.Algo != chunk.AlgoFixed || o.Chunker.Size != chunk.DefaultSize || o.ChunkSize != chunk.DefaultSize {
+		t.Errorf("zero-value chunker = %+v ChunkSize=%d", o.Chunker, o.ChunkSize)
+	}
+
+	// Legacy ChunkSize fills the spec size.
+	o, err = Options{K: 1, ChunkSize: 256, Chunker: chunk.Spec{Algo: chunk.AlgoGear}}.normalized(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Chunker.Size != 256 || o.ChunkSize != 256 {
+		t.Errorf("ChunkSize not threaded into the spec: %+v", o.Chunker)
+	}
+
+	// Deprecated ContentDefined selects CDC and clears itself.
+	o, err = Options{K: 1, ContentDefined: true, ChunkSize: 512}.normalized(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Chunker.Algo != chunk.AlgoRabin || o.ContentDefined {
+		t.Errorf("ContentDefined alias broken: %+v ContentDefined=%t", o.Chunker, o.ContentDefined)
+	}
+
+	// ContentDefined combined with an explicit non-fixed algo conflicts.
+	if _, err := (Options{K: 1, ContentDefined: true, Chunker: chunk.Spec{Algo: chunk.AlgoGear}}).normalized(4); err == nil || !strings.Contains(err.Error(), "conflicts") {
+		t.Errorf("ContentDefined+Chunker conflict not rejected: %v", err)
+	}
+	// Disagreeing sizes conflict.
+	if _, err := (Options{K: 1, ChunkSize: 512, Chunker: chunk.Spec{Algo: chunk.AlgoGear, Size: 256}}).normalized(4); err == nil {
+		t.Error("disagreeing ChunkSize and Chunker.Size accepted")
+	}
+	// Matching sizes are fine.
+	if _, err := (Options{K: 1, ChunkSize: 256, Chunker: chunk.Spec{Algo: chunk.AlgoGear, Size: 256}}).normalized(4); err != nil {
+		t.Errorf("matching ChunkSize and Chunker.Size rejected: %v", err)
+	}
+	// Spec validation surfaces: CDC algos reject sub-window sizes.
+	if _, err := (Options{K: 1, Chunker: chunk.Spec{Algo: chunk.AlgoGear, Size: 16}}).normalized(4); err == nil {
+		t.Error("gear with 16-byte chunks accepted")
+	}
+	// Unknown algo fails.
+	if _, err := (Options{K: 1, Chunker: chunk.Spec{Algo: chunk.Algo(9)}}).normalized(4); err == nil {
+		t.Error("unknown chunker algo accepted")
+	}
+}
+
 func TestBoolHelper(t *testing.T) {
 	if v := Bool(true); v == nil || !*v {
 		t.Error("Bool(true) broken")

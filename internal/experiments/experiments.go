@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"dedupcr/internal/chunk"
 	"dedupcr/internal/telemetry"
 	"dedupcr/internal/trace"
 )
@@ -90,6 +91,13 @@ type Config struct {
 	// but scenarios are cached per setting so timing experiments can
 	// compare them.
 	Parallelism int
+	// Chunker selects the chunking algorithm for every dump the
+	// experiments run (core.Options.Chunker.Algo); the chunk size stays
+	// each workload's scaled page size. The zero value keeps the paper's
+	// fixed-size chunking. Scenarios are cached per algorithm, so the
+	// parallel and fragmentation experiments can sweep chunkers across
+	// dumpbench invocations (-chunker fixed|cdc|gear).
+	Chunker chunk.Algo
 	// Timeout bounds each collective scenario run: when it expires the
 	// group aborts and the experiment fails with a collective error
 	// instead of hanging. Zero means no deadline.

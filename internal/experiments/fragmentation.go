@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"dedupcr/internal/chunk"
 	"dedupcr/internal/collectives"
 	"dedupcr/internal/core"
 	"dedupcr/internal/metrics"
@@ -43,7 +44,7 @@ func Fragmentation(cfg Config) (*Table, error) {
 		Header: []string{"D", "dedup ratio", "read amp", "fetched", "objects",
 			"max sources", "run p50", "run max", "fetch imb"},
 		Notes: []string{
-			fmt.Sprintf("N=%d K=%d, %d chunks x %dB per rank; blocks of D ranks share identical content", n, k, chunksPerRank, chunkSize),
+			fmt.Sprintf("N=%d K=%d, %d chunks x %dB per rank; blocks of D ranks share identical content; chunker=%s", n, k, chunksPerRank, chunkSize, cfg.Chunker),
 			fmt.Sprintf("for D <= K every sharer is a designated holder and restores stay local; for D > K the surplus D-%d sharers fetch everything", k),
 			"read amp = bytes fetched from peers / logical image bytes; runs are maximal same-source stretches of the recipe walk, in chunks",
 		},
@@ -112,8 +113,9 @@ func runFragmentationScenario(cfg Config, n, k, d, chunksPerRank, chunkSize int)
 		rec := tr.Recorder(pid, rank, fmt.Sprintf("rank %d", rank))
 		buf := fragBuffer(rank, d, chunksPerRank, chunkSize)
 		o := core.Options{
-			K: k, Approach: core.CollDedup, F: 1 << 11, ChunkSize: chunkSize,
-			Name: "frag", Trace: rec, Parallelism: cfg.Parallelism,
+			K: k, Approach: core.CollDedup, F: 1 << 11,
+			Chunker: chunk.Spec{Algo: cfg.Chunker, Size: chunkSize},
+			Name:    "frag", Trace: rec, Parallelism: cfg.Parallelism,
 		}
 		res, err := core.DumpOutput(c, cluster.Node(rank), buf, o)
 		if err != nil {

@@ -52,7 +52,7 @@ func AblationParallel(cfg Config) (*Table, error) {
 
 	t := &Table{
 		ID:     "parallel",
-		Title:  fmt.Sprintf("Hot-path parallelism: serial vs %d workers (HPCCG, N=%d, K=3, rank mean)", procs, n),
+		Title:  fmt.Sprintf("Hot-path parallelism: serial vs %d workers (HPCCG, N=%d, K=3, chunker=%s, rank mean)", procs, n, cfg.Chunker),
 		Header: []string{"phase", "parallelism=1", fmt.Sprintf("parallelism=%d", procs), "speedup"},
 	}
 	row := func(name string, s, p time.Duration) {

@@ -7,6 +7,7 @@ import (
 
 	"dedupcr/internal/apps/cm1"
 	"dedupcr/internal/apps/hpccg"
+	"dedupcr/internal/chunk"
 	"dedupcr/internal/collectives"
 	"dedupcr/internal/core"
 	"dedupcr/internal/metrics"
@@ -153,7 +154,7 @@ func RunScenario(cfg Config, w Workload, n, k int, approach core.Approach, shuff
 	if cfg.Trace != nil {
 		return runScenarioUncached(cfg, w, n, k, approach, shuffle)
 	}
-	key := fmt.Sprintf("%s/%d/%d/%d/%t/p%d", w.Name, n, k, approach, shuffle, cfg.Parallelism)
+	key := fmt.Sprintf("%s/%d/%d/%d/%t/p%d/%s", w.Name, n, k, approach, shuffle, cfg.Parallelism, cfg.Chunker)
 	if v, ok := scenarioCache.Load(key); ok {
 		return v.(*ScenarioResult), nil
 	}
@@ -215,7 +216,7 @@ func runScenarioUncached(cfg Config, w Workload, n, k int, approach core.Approac
 				K:           k,
 				Approach:    approach,
 				F:           w.F,
-				ChunkSize:   w.ChunkSize,
+				Chunker:     chunk.Spec{Algo: cfg.Chunker, Size: w.ChunkSize},
 				Shuffle:     core.Bool(shuffle),
 				Name:        fmt.Sprintf("%s-ck%d", w.Name, ck),
 				Trace:       rec,

@@ -1,0 +1,53 @@
+package fingerprint
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBatchOfMatchesOf pins the batch contract: BatchOf must be
+// bit-identical to per-span Of calls, for spans of every shape —
+// empty, nil, tiny, block-sized and odd-tailed — in shuffled order.
+func TestBatchOfMatchesOf(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	spans := [][]byte{nil, {}, []byte("x")}
+	for i := 0; i < 61; i++ {
+		s := make([]byte, rng.Intn(5000))
+		rng.Read(s)
+		spans = append(spans, s)
+	}
+	rng.Shuffle(len(spans), func(i, j int) { spans[i], spans[j] = spans[j], spans[i] })
+
+	dst := make([]FP, len(spans))
+	BatchOf(dst, spans...)
+	for i, s := range spans {
+		if want := Of(s); dst[i] != want {
+			t.Fatalf("span %d (%d bytes): batch %s, want %s", i, len(s), dst[i].Short(), want.Short())
+		}
+	}
+
+	// A second batch into the same dst must overwrite cleanly.
+	BatchOf(dst[:1], []byte("other"))
+	if dst[0] != Of([]byte("other")) {
+		t.Fatal("reused dst entry not overwritten")
+	}
+	// Oversized dst is fine; the tail stays untouched.
+	tail := dst[len(dst)-1]
+	BatchOf(dst, spans[0])
+	if dst[len(dst)-1] != tail {
+		t.Fatal("BatchOf wrote past its spans")
+	}
+}
+
+func TestBatchOfShortDstPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BatchOf accepted a dst shorter than spans")
+		}
+	}()
+	BatchOf(make([]FP, 1), []byte("a"), []byte("b"))
+}
+
+func TestBatchOfEmpty(t *testing.T) {
+	BatchOf(nil) // zero spans need zero dst
+}

@@ -5,6 +5,36 @@ import (
 	"testing"
 )
 
+// FuzzBatchOf splits arbitrary bytes into spans at input-derived
+// boundaries and checks that batch fingerprinting is bit-identical to
+// per-span Of calls — the digest-reuse optimization must never leak
+// state between spans.
+func FuzzBatchOf(f *testing.F) {
+	f.Add([]byte("collective dedup"), uint8(3))
+	f.Add(make([]byte, 1024), uint8(0))
+	f.Add([]byte{}, uint8(7))
+	f.Fuzz(func(t *testing.T, data []byte, step uint8) {
+		var spans [][]byte
+		stride := int(step) + 1
+		for off := 0; off < len(data); {
+			end := off + stride + off%3 // uneven spans, some adjacent
+			if end > len(data) {
+				end = len(data)
+			}
+			spans = append(spans, data[off:end])
+			off = end
+		}
+		spans = append(spans, nil, data) // edge spans: nil and the whole buffer
+		dst := make([]FP, len(spans))
+		BatchOf(dst, spans...)
+		for i, s := range spans {
+			if want := Of(s); dst[i] != want {
+				t.Fatalf("span %d (%d bytes): batch digest differs from Of", i, len(s))
+			}
+		}
+	})
+}
+
 // FuzzTableUnmarshal drives the table decoder with arbitrary bytes: the
 // peer-controlled count prefix must never panic or size an unbounded
 // allocation, and any input that decodes must survive a re-encode cycle.
