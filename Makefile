@@ -20,8 +20,10 @@ race:
 vet: dedupvet
 	$(GO) vet ./...
 
+# Run the full suite, or a subset: make dedupvet ANALYZERS=lockorder,wiresym
+ANALYZERS ?=
 dedupvet:
-	$(GO) run ./cmd/dedupvet ./...
+	$(GO) run ./cmd/dedupvet $(if $(ANALYZERS),-analyzers $(ANALYZERS)) ./...
 
 fmt:
 	gofmt -l -w .

@@ -1,7 +1,8 @@
 // Command dedupvet is the repo's invariant checker: a multichecker
 // bundling the internal/analysis suite (collective determinism, bounded
 // decoding, phase attribution, guarded-by lock annotations, context
-// discipline, raw-print hygiene). It runs in two modes:
+// discipline, raw-print hygiene, lock ordering, goroutine lifetime,
+// wire-codec symmetry, atomics discipline). It runs in two modes:
 //
 // Standalone (the Makefile/CI entry point, works without installing):
 //
@@ -28,18 +29,22 @@ import (
 	"strings"
 
 	"dedupcr/internal/analysis"
+	"dedupcr/internal/analysis/atomicfield"
 	"dedupcr/internal/analysis/boundedmake"
 	"dedupcr/internal/analysis/ctxcheck"
 	"dedupcr/internal/analysis/determinism"
+	"dedupcr/internal/analysis/gorolife"
 	"dedupcr/internal/analysis/guardedby"
 	"dedupcr/internal/analysis/load"
+	"dedupcr/internal/analysis/lockorder"
 	"dedupcr/internal/analysis/phaseattr"
 	"dedupcr/internal/analysis/rawprint"
+	"dedupcr/internal/analysis/wiresym"
 )
 
 // version is what -V=full reports; cmd/go hashes the line into its action
 // cache, so bump it when analyzer behaviour changes.
-const version = "v2"
+const version = "v3"
 
 // analyzers is the suite, in reporting order.
 var analyzers = []*analysis.Analyzer{
@@ -49,6 +54,10 @@ var analyzers = []*analysis.Analyzer{
 	guardedby.Analyzer,
 	ctxcheck.Analyzer,
 	rawprint.Analyzer,
+	lockorder.Analyzer,
+	gorolife.Analyzer,
+	wiresym.Analyzer,
+	atomicfield.Analyzer,
 }
 
 func main() {
@@ -60,10 +69,11 @@ func run(args []string) int {
 	vFlag := fs.String("V", "", "print version and exit (cmd/go protocol)")
 	flagsFlag := fs.Bool("flags", false, "print analyzer flags as JSON and exit (cmd/go protocol)")
 	listFlag := fs.Bool("list", false, "list the analyzers and exit")
-	var disabled stringSet
+	var disabled, enabled stringSet
 	fs.Var(&disabled, "disable", "comma-separated analyzers to skip")
+	fs.Var(&enabled, "analyzers", "comma-separated analyzers to run (default: all)")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: dedupvet [-disable a,b] [packages]\n       dedupvet vet.cfg   (go vet -vettool mode)\n\nAnalyzers:\n")
+		fmt.Fprintf(fs.Output(), "usage: dedupvet [-analyzers a,b] [-disable a,b] [packages]\n       dedupvet vet.cfg   (go vet -vettool mode)\n\nAnalyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, firstLine(a.Doc))
 		}
@@ -87,14 +97,25 @@ func run(args []string) int {
 		return 0
 	}
 
-	active := analyzers
-	if len(disabled) > 0 {
-		active = nil
-		for _, a := range analyzers {
-			if !disabled[a.Name] {
-				active = append(active, a)
-			}
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for name := range enabled {
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "dedupvet: unknown analyzer %q (run with -list for the suite)\n", name)
+			return 1
 		}
+	}
+	var active []*analysis.Analyzer
+	for _, a := range analyzers {
+		if len(enabled) > 0 && !enabled[a.Name] {
+			continue
+		}
+		if disabled[a.Name] {
+			continue
+		}
+		active = append(active, a)
 	}
 
 	rest := fs.Args()
@@ -134,7 +155,10 @@ func printFlags() int {
 		Bool  bool
 		Usage string
 	}
-	out := []jsonFlag{{Name: "disable", Bool: false, Usage: "comma-separated analyzers to skip"}}
+	out := []jsonFlag{
+		{Name: "disable", Bool: false, Usage: "comma-separated analyzers to skip"},
+		{Name: "analyzers", Bool: false, Usage: "comma-separated analyzers to run (default: all)"},
+	}
 	data, err := json.Marshal(out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dedupvet:", err)

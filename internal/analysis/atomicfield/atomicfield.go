@@ -1,0 +1,254 @@
+// Package atomicfield enforces atomics discipline: a variable or struct
+// field that is accessed through sync/atomic anywhere must be accessed
+// through sync/atomic everywhere. One plain load racing one atomic
+// store is still a data race — the obs ring's sequence counter and the
+// collectives window counters are exactly the fields this guards.
+//
+// Two rules:
+//
+//  1. Legacy atomics: if &x.f is ever passed to atomic.AddInt64,
+//     atomic.LoadUint64, atomic.CompareAndSwapPointer, ... then every
+//     other use of x.f in the package must also be an atomic call
+//     argument. Composite-literal initialization is exempt (the value
+//     is not yet published).
+//
+//  2. Typed atomics (atomic.Int64, atomic.Pointer[T], ...): the field
+//     may only be used as a method-call receiver or have its address
+//     taken; copying or reassigning the whole atomic value bypasses
+//     the atomicity (and the copy is itself racy).
+//
+// Audited exceptions — e.g. a plain read inside a constructor before
+// the value escapes — are annotated on the access line:
+//
+//	//dedupvet:atomicfield <justification>
+//
+// Soundness caveat: the analysis is package-local and name-based on
+// object identity; an address leaked to another package (or stored in
+// an interface) escapes the audit.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dedupcr/internal/analysis"
+)
+
+// Analyzer is the atomics-discipline checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "a field accessed via sync/atomic once must be accessed " +
+		"atomically everywhere; typed atomic fields must not be copied",
+	Run: run,
+}
+
+// Directive marks an audited mixed-access site.
+const Directive = "atomicfield"
+
+func run(pass *analysis.Pass) error {
+	a := &checker{pass: pass, atomicUses: make(map[types.Object]token.Pos)}
+	for _, file := range pass.Files {
+		a.collect(file)
+	}
+	for _, file := range pass.Files {
+		a.check(file)
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// atomicUses maps objects whose address is passed to a sync/atomic
+	// function to the first such site.
+	atomicUses map[types.Object]token.Pos
+}
+
+// atomicCallArg returns the object whose address call passes to a
+// sync/atomic function, or nil.
+func (c *checker) atomicCallArg(call *ast.CallExpr) types.Object {
+	callee := c.pass.CalleeFunc(call)
+	if callee == nil || analysis.FuncPkgPath(callee) != "sync/atomic" {
+		return nil
+	}
+	// Package-level functions only; typed-atomic methods are rule 2.
+	if callee.Type().(*types.Signature).Recv() != nil {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	return c.addressedObj(un.X)
+}
+
+// addressedObj resolves &<expr>'s operand to a variable or field object.
+func (c *checker) addressedObj(e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.TypesInfo.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return c.pass.TypesInfo.Uses[e.Sel]
+	case *ast.Ident:
+		return c.pass.TypesInfo.Uses[e]
+	}
+	return nil
+}
+
+func (c *checker) collect(file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj := c.atomicCallArg(call); obj != nil {
+			if _, seen := c.atomicUses[obj]; !seen {
+				c.atomicUses[obj] = call.Pos()
+			}
+		}
+		return true
+	})
+}
+
+// check walks file with a parent stack, flagging non-atomic uses of
+// atomically-used objects and copies of typed atomic fields.
+func (c *checker) check(file *ast.File) {
+	var stack []ast.Node
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if id, ok := n.(*ast.Ident); ok {
+			c.checkIdent(id, stack)
+		}
+		return true
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		return visit(n)
+	})
+}
+
+func (c *checker) checkIdent(id *ast.Ident, stack []ast.Node) {
+	obj := c.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return
+	}
+	// The use site is the selector x.f when id is its .Sel, else the
+	// ident itself (package-level var).
+	use := ast.Node(id)
+	parents := stack[:len(stack)-1]
+	if len(parents) > 0 {
+		if sel, ok := parents[len(parents)-1].(*ast.SelectorExpr); ok {
+			if sel.Sel != id {
+				return // id is the X of a selector; the Sel visit handles it
+			}
+			use = sel
+			parents = parents[:len(parents)-1]
+		}
+	}
+
+	if pos, marked := c.atomicUses[obj]; marked {
+		if c.insideAtomicArg(use, parents) || c.compositeKey(id, parents) {
+			return
+		}
+		if c.pass.Suppressed(use.Pos(), Directive) {
+			return
+		}
+		c.pass.Reportf(use.Pos(), "non-atomic access of %s, which is accessed with sync/atomic at %s (data race); use sync/atomic here or annotate %s%s",
+			obj.Name(), c.pass.Fset.Position(pos), analysis.DirectivePrefix, Directive)
+		return
+	}
+
+	// Rule 2: typed atomic values may not be copied or reassigned.
+	v, ok := obj.(*types.Var)
+	if !ok || !isTypedAtomic(v.Type()) {
+		return
+	}
+	if c.receiverOrAddress(use, parents) || c.compositeKey(id, parents) {
+		return
+	}
+	if c.pass.Suppressed(use.Pos(), Directive) {
+		return
+	}
+	c.pass.Reportf(use.Pos(), "typed atomic %s used as a value (copy or reassignment defeats atomicity); call its methods or take its address, or annotate %s%s",
+		obj.Name(), analysis.DirectivePrefix, Directive)
+}
+
+// insideAtomicArg reports whether use is the &-operand of a sync/atomic
+// call's first argument.
+func (c *checker) insideAtomicArg(use ast.Node, parents []ast.Node) bool {
+	if len(parents) < 2 {
+		return false
+	}
+	un, ok := parents[len(parents)-1].(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return false
+	}
+	for i := len(parents) - 2; i >= 0; i-- {
+		switch p := parents[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.CallExpr:
+			return c.atomicCallArg(p) != nil
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// compositeKey reports whether id is the key of a composite-literal
+// element (struct initialization before publication).
+func (c *checker) compositeKey(id *ast.Ident, parents []ast.Node) bool {
+	if len(parents) == 0 {
+		return false
+	}
+	kv, ok := parents[len(parents)-1].(*ast.KeyValueExpr)
+	return ok && kv.Key == id
+}
+
+// receiverOrAddress reports whether use (a typed-atomic field selector)
+// is a method-call receiver (x.f.Load()) or an address operand (&x.f).
+func (c *checker) receiverOrAddress(use ast.Node, parents []ast.Node) bool {
+	if len(parents) == 0 {
+		return false
+	}
+	switch p := parents[len(parents)-1].(type) {
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	case *ast.SelectorExpr:
+		// x.f.Method(...): the selector's X is our use; require the
+		// method selector to be called.
+		if p.X != use {
+			return false
+		}
+		if len(parents) < 2 {
+			return false
+		}
+		call, ok := parents[len(parents)-2].(*ast.CallExpr)
+		return ok && call.Fun == p
+	}
+	return false
+}
+
+func isTypedAtomic(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	switch n.Obj().Name() {
+	case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+		return true
+	}
+	return false
+}

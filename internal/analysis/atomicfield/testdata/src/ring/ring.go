@@ -1,0 +1,82 @@
+// Package ring is the atomicfield golden corpus: mixed atomic and
+// plain access to the same field, and typed-atomic copy hazards.
+package ring
+
+import "sync/atomic"
+
+// --- rule 1: legacy sync/atomic functions -------------------------------
+
+type counter struct {
+	n    int64
+	cold int64 // never touched atomically; plain access is fine
+}
+
+func (c *counter) incr() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counter) race() {
+	c.n++ // want "non-atomic access of n"
+}
+
+func (c *counter) raceRead() int64 {
+	return c.n // want "non-atomic access of n"
+}
+
+func (c *counter) coldAccess() int64 {
+	c.cold++
+	return c.cold
+}
+
+func newCounter() *counter {
+	// Composite-literal initialization happens before publication.
+	return &counter{n: 40}
+}
+
+func (c *counter) audited() int64 {
+	//dedupvet:atomicfield snapshot under the caller's stop-the-world barrier
+	return c.n
+}
+
+// Package-level vars participate too.
+var total int64
+
+func addTotal(d int64) {
+	atomic.AddInt64(&total, d)
+}
+
+func leakTotal() int64 {
+	return total // want "non-atomic access of total"
+}
+
+// --- rule 2: typed atomics must not be copied ---------------------------
+
+type ring struct {
+	seq atomic.Uint64
+}
+
+func (r *ring) next() uint64 {
+	return r.seq.Add(1)
+}
+
+func (r *ring) pointerOK() *atomic.Uint64 {
+	return &r.seq
+}
+
+func (r *ring) copySeq() atomic.Uint64 {
+	return r.seq // want "typed atomic seq used as a value"
+}
+
+func (r *ring) resetSeq() {
+	r.seq = atomic.Uint64{} // want "typed atomic seq used as a value"
+}
+
+func (r *ring) auditedCopy() uint64 {
+	//dedupvet:atomicfield read-only snapshot in a test helper
+	s := r.seq
+	return s.Load()
+}

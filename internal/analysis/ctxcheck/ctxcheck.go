@@ -3,9 +3,8 @@
 // blocking collective, so library code may neither mint its own root
 // context nor silently drop one it was handed.
 //
-// Two rules, scoped to library packages (import paths containing an
-// internal/ element, plus the root facade — cmd/ and examples/ binaries
-// legitimately create root contexts):
+// Two rules. In library packages (import paths containing an internal/
+// element, plus the root facade) both apply in full:
 //
 //  1. No context.Background() or context.TODO() outside the documented
 //     compat wrappers. The wrappers (DumpOutput, Run, Checkpoint, ... —
@@ -16,6 +15,14 @@
 //  2. No dropped ctx: a function that declares a named context.Context
 //     parameter must use it. A deliberately ignored context is spelled
 //     `_ context.Context`, or the function carries `//dedupvet:compat`.
+//
+// cmd/ packages are checked too, with one documented exemption: the
+// process entry points in cmdEntryPoints (`main` and `run` — the
+// conventional split where main parses flags and run owns the process
+// lifecycle) are where the root context is legitimately minted, so rule
+// 1 does not apply inside them. Everything else in a binary — signal
+// handlers, servers, helpers — must thread the entry point's ctx, and
+// rule 2 applies everywhere. Only examples/ remains out of scope.
 package ctxcheck
 
 import (
@@ -38,17 +45,31 @@ var Analyzer = &analysis.Analyzer{
 // suppression, an audited root-context site).
 const Directive = "compat"
 
+// cmdEntryPoints is the documented exemption list for cmd/ packages:
+// the functions where a binary legitimately mints its root context.
+var cmdEntryPoints = map[string]bool{
+	"main": true,
+	"run":  true,
+}
+
 func run(pass *analysis.Pass) error {
-	if !isLibraryPkg(pass.Path()) {
+	path := pass.Path()
+	cmd := isCmdPkg(path)
+	if !cmd && !isLibraryPkg(path) {
 		return nil
+	}
+	scope := "library code"
+	if cmd {
+		scope = "command code outside an entry point"
 	}
 	for _, fn := range pass.FuncDecls() {
 		if fn.Body == nil {
 			continue
 		}
 		_, compat := analysis.FuncDirective(fn, Directive)
-		if !compat {
-			checkRootContexts(pass, fn)
+		entry := cmd && fn.Recv == nil && cmdEntryPoints[fn.Name.Name]
+		if !compat && !entry {
+			checkRootContexts(pass, fn, scope)
 		}
 		checkDroppedCtx(pass, fn, compat)
 	}
@@ -58,15 +79,19 @@ func run(pass *analysis.Pass) error {
 // isLibraryPkg reports whether path is library territory: any internal/
 // subtree or a bare module-root package (the facade).
 func isLibraryPkg(path string) bool {
-	if strings.Contains(path, "/cmd/") || strings.HasPrefix(path, "cmd/") ||
+	if isCmdPkg(path) ||
 		strings.Contains(path, "/examples/") || strings.HasPrefix(path, "examples/") {
 		return false
 	}
 	return strings.Contains(path, "internal/") || !strings.Contains(path, "/")
 }
 
+func isCmdPkg(path string) bool {
+	return strings.Contains(path, "/cmd/") || strings.HasPrefix(path, "cmd/")
+}
+
 // checkRootContexts flags context.Background/TODO calls in fn.
-func checkRootContexts(pass *analysis.Pass, fn *ast.FuncDecl) {
+func checkRootContexts(pass *analysis.Pass, fn *ast.FuncDecl, scope string) {
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -78,8 +103,8 @@ func checkRootContexts(pass *analysis.Pass, fn *ast.FuncDecl) {
 		}
 		if name := callee.Name(); name == "Background" || name == "TODO" {
 			if !pass.Suppressed(call.Pos(), Directive) {
-				pass.Reportf(call.Pos(), "context.%s in library code: thread the caller's ctx (compat wrappers are annotated %s%s)",
-					name, analysis.DirectivePrefix, Directive)
+				pass.Reportf(call.Pos(), "context.%s in %s: thread the caller's ctx (compat wrappers are annotated %s%s)",
+					name, scope, analysis.DirectivePrefix, Directive)
 			}
 		}
 		return true

@@ -1,9 +1,33 @@
-// Package main is binary territory: root contexts are legitimate here
-// and the analyzer skips the package entirely.
+// Package main exercises the cmd/ scope: the main/run entry points may
+// mint the root context, everything else in the binary must thread it.
 package main
 
 import "context"
 
 func main() {
+	run(context.Background())
+}
+
+func run(ctx context.Context) error {
+	serve(ctx)
+	return nil
+}
+
+// serve is not an entry point: minting a fresh root here detaches the
+// server from the process lifecycle.
+func serve(ctx context.Context) {
+	_ = ctx
+	_ = context.Background() // want "context.Background in command code outside an entry point"
+}
+
+// watch drops the context it was handed; rule 2 applies in binaries
+// too.
+func watch(ctx context.Context) { // want "context parameter \"ctx\" is dropped"
+	_ = 1
+}
+
+// reload documents the detached context on the line itself.
+func reload() {
+	//dedupvet:compat config reload is deliberately detached from request lifecycles
 	_ = context.Background()
 }

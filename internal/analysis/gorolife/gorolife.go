@@ -1,0 +1,133 @@
+// Package gorolife enforces goroutine lifetime discipline in library
+// packages: every `go` statement must spawn a body with a provable exit
+// path, so compactors, gossip loops and pool workers cannot leak past
+// their owner's shutdown.
+//
+// For each go statement the analyzer resolves the spawned function — a
+// function literal, or a function/method declared in the same package —
+// builds its CFG (internal/analysis/ssa), and requires that every block
+// reachable from the entry can reach the function exit. Exits are
+// returns, falling off the end, panic, os.Exit and runtime.Goexit;
+// loop-escaping edges come from conditions, breaks, range exhaustion
+// (a closed channel ends `for range ch`) and select cases that return.
+// A `for {}` or a select-loop with no returning case cannot reach the
+// exit and is reported. Dynamically dispatched targets (function
+// values, interface methods, out-of-package functions) cannot be proved
+// and are reported as such.
+//
+// Audited sites — e.g. a worker whose termination is managed by a
+// runtime.Goexit inside a callee, or an intentionally process-lifetime
+// goroutine — are annotated on the go statement:
+//
+//	//dedupvet:gorolife <justification>
+//
+// Soundness caveats: the proof is control-flow existence, not liveness —
+// a `for range ch` exit path counts even if no one ever closes ch; and
+// only the spawned body itself is analyzed, so a clean body that calls
+// a never-returning helper passes.
+package gorolife
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dedupcr/internal/analysis"
+	"dedupcr/internal/analysis/ssa"
+)
+
+// Analyzer is the goroutine-lifetime checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "gorolife",
+	Doc: "require a provable exit path for every goroutine spawned in " +
+		"library code (no leaked workers); audited sites are annotated " +
+		"//dedupvet:gorolife",
+	Run: run,
+}
+
+// Directive marks an audited go statement.
+const Directive = "gorolife"
+
+func run(pass *analysis.Pass) error {
+	if !isLibraryPkg(pass.Path()) {
+		return nil
+	}
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, fn := range pass.FuncDecls() {
+		if fn.Body == nil {
+			continue
+		}
+		if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+			decls[obj] = fn
+		}
+	}
+	for _, fn := range pass.FuncDecls() {
+		if fn.Body == nil {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGo(pass, decls, gs)
+			return true
+		})
+	}
+	return nil
+}
+
+// isLibraryPkg mirrors ctxcheck's scope: internal/ subtrees and the
+// module-root facade. Binaries under cmd/ and examples/ may spawn
+// process-lifetime goroutines.
+func isLibraryPkg(path string) bool {
+	if strings.Contains(path, "/cmd/") || strings.HasPrefix(path, "cmd/") ||
+		strings.Contains(path, "/examples/") || strings.HasPrefix(path, "examples/") {
+		return false
+	}
+	return strings.Contains(path, "internal/") || !strings.Contains(path, "/")
+}
+
+func checkGo(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, gs *ast.GoStmt) {
+	if pass.Suppressed(gs.Pos(), Directive) {
+		return
+	}
+	body := spawnedBody(pass, decls, gs.Call)
+	if body == nil {
+		pass.Reportf(gs.Pos(), "goroutine target is dynamic or out-of-package: cannot prove an exit path (audit and annotate with %s%s)",
+			analysis.DirectivePrefix, Directive)
+		return
+	}
+	f := ssa.Build(pass.TypesInfo, body)
+	reach := f.ReachableFromEntry()
+	exits := f.CanReachExit()
+	for _, b := range f.Blocks {
+		if !reach[b] || exits[b] {
+			continue
+		}
+		at := gs.Pos()
+		detail := ""
+		if len(b.Stmts) > 0 {
+			detail = " (stuck at " + pass.Fset.Position(b.Stmts[0].Pos()).String() + ")"
+		}
+		pass.Reportf(at, "goroutine has no provable exit path%s: add a ctx.Done/stop-channel case, bound the loop, or annotate with %s%s",
+			detail, analysis.DirectivePrefix, Directive)
+		return // one finding per go statement
+	}
+}
+
+// spawnedBody resolves the body the go statement runs: a function
+// literal or a same-package declaration. nil means unprovable.
+func spawnedBody(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	callee := pass.CalleeFunc(call)
+	if callee == nil {
+		return nil
+	}
+	if decl, ok := decls[callee]; ok {
+		return decl.Body
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package gorolife_test
+
+import (
+	"testing"
+
+	"dedupcr/internal/analysis/analysistest"
+	"dedupcr/internal/analysis/gorolife"
+)
+
+func TestGoroLife(t *testing.T) {
+	analysistest.Run(t, gorolife.Analyzer, "internal/pool", "cmd/tool")
+}

@@ -1,0 +1,12 @@
+// Command tool shows gorolife's scope: binaries may run
+// process-lifetime goroutines, so nothing here is flagged.
+package main
+
+func main() {
+	go func() {
+		for {
+			_ = 1
+		}
+	}()
+	select {}
+}

@@ -1,0 +1,119 @@
+// Package pool is the gorolife golden corpus: goroutines with and
+// without provable exit paths.
+package pool
+
+import (
+	"context"
+	"sync"
+)
+
+type server struct {
+	stop chan struct{}
+	kick chan struct{}
+}
+
+// --- leaks: no exit path ------------------------------------------------
+
+func leakLiteral() {
+	go func() { // want "no provable exit path"
+		for {
+			_ = 1
+		}
+	}()
+}
+
+func spin() {
+	for {
+		_ = 1
+	}
+}
+
+func leakDecl() {
+	go spin() // want "no provable exit path"
+}
+
+func (s *server) drainForever() {
+	for {
+		select {
+		case <-s.kick:
+		}
+	}
+}
+
+func leakMethod(s *server) {
+	go s.drainForever() // want "no provable exit path"
+}
+
+// --- unprovable: dynamic targets ----------------------------------------
+
+func leakDynamic(fn func()) {
+	go fn() // want "dynamic or out-of-package"
+}
+
+// --- provable exits: no findings ----------------------------------------
+
+func (s *server) loop() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.kick:
+		}
+		_ = 1
+	}
+}
+
+func okCompactor(s *server) {
+	go s.loop()
+}
+
+func okCtx(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+}
+
+func okRangeWorker(jobs chan int) {
+	// for range ch ends when the channel is closed.
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+func okBounded(wg *sync.WaitGroup, n int) {
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			_ = i
+		}
+	}()
+}
+
+func okPanic() {
+	// A goroutine that dies by panic does not leak.
+	go func() {
+		for {
+			panic("fatal")
+		}
+	}()
+}
+
+// --- audited suppression ------------------------------------------------
+
+func suppressed() {
+	//dedupvet:gorolife process-lifetime ticker by design; owner documents shutdown
+	go func() {
+		for {
+			_ = 1
+		}
+	}()
+}

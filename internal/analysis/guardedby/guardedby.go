@@ -70,7 +70,10 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// collectGuards finds annotated struct fields in the package.
+// collectGuards finds annotated struct fields in the package. Embedded
+// fields have no Names entry, so they are resolved positionally through
+// the checked struct type — an annotation on an embedded field used to
+// be dropped silently.
 func collectGuards(pass *analysis.Pass) map[types.Object]guard {
 	guards := make(map[types.Object]guard)
 	for _, f := range pass.Files {
@@ -79,15 +82,34 @@ func collectGuards(pass *analysis.Pass) map[types.Object]guard {
 			if !ok {
 				return true
 			}
+			var stType *types.Struct
+			if tv, ok := pass.TypesInfo.Types[st]; ok {
+				stType, _ = tv.Type.(*types.Struct)
+			}
+			idx := 0
 			for _, field := range st.Fields.List {
+				width := len(field.Names)
+				if width == 0 {
+					width = 1 // embedded field
+				}
 				mu := fieldGuard(field)
 				if mu == "" {
+					idx += width
+					continue
+				}
+				if len(field.Names) == 0 {
+					if stType != nil && idx < stType.NumFields() {
+						obj := stType.Field(idx)
+						guards[obj] = guard{field: obj, mu: mu}
+					}
+					idx++
 					continue
 				}
 				for _, name := range field.Names {
 					if obj := pass.TypesInfo.Defs[name]; obj != nil {
 						guards[obj] = guard{field: obj.(*types.Var), mu: mu}
 					}
+					idx++
 				}
 			}
 			return true
@@ -129,7 +151,7 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, guards map[types.Object]gu
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if mu := lockedMutex(n); mu != "" {
+			if mu := lockedMutex(pass, n); mu != "" {
 				lockPos[mu] = append(lockPos[mu], n.Pos())
 			}
 		case *ast.SelectorExpr:
@@ -156,11 +178,35 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, guards map[types.Object]gu
 }
 
 // lockedMutex returns the mutex field name when call is
-// <expr>.<mu>.Lock() or <expr>.<mu>.RLock(), else "".
-func lockedMutex(call *ast.CallExpr) string {
+// <expr>.<mu>.Lock() or <expr>.<mu>.RLock(), else "". A promoted call
+// through an embedded mutex (s.Lock() on a struct embedding
+// sync.Mutex) is credited to the embedded field's implicit name
+// ("Mutex", "RWMutex"), matching the `// guarded by Mutex` annotation.
+func lockedMutex(pass *analysis.Pass, call *ast.CallExpr) string {
 	outer, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok || (outer.Sel.Name != "Lock" && outer.Sel.Name != "RLock") {
 		return ""
+	}
+	if sel, ok := pass.TypesInfo.Selections[outer]; ok && sel.Kind() == types.MethodVal {
+		if idx := sel.Index(); len(idx) > 1 {
+			// Promotion path: every hop but the last is an embedded
+			// field; the final field hop is the mutex itself.
+			t := sel.Recv()
+			name := ""
+			for _, i := range idx[:len(idx)-1] {
+				s, ok := deref(t).Underlying().(*types.Struct)
+				if !ok || i >= s.NumFields() {
+					name = ""
+					break
+				}
+				f := s.Field(i)
+				name = f.Name()
+				t = f.Type()
+			}
+			if name != "" {
+				return name
+			}
+		}
 	}
 	switch x := ast.Unparen(outer.X).(type) {
 	case *ast.SelectorExpr:
@@ -169,4 +215,11 @@ func lockedMutex(call *ast.CallExpr) string {
 		return x.Name
 	}
 	return ""
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
 }

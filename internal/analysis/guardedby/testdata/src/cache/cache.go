@@ -59,3 +59,48 @@ func (c *Cache) Reset() {
 	//dedupvet:locked single-goroutine setup before the cache escapes
 	c.data = make(map[string]int)
 }
+
+// Table embeds its mutex: the promoted t.Lock() call must be credited
+// to the implicit field name "Mutex" so the annotation lines up.
+type Table struct {
+	sync.Mutex
+	rows int // guarded by Mutex
+}
+
+// Add locks through the promoted method: clean.
+func (t *Table) Add() {
+	t.Lock()
+	defer t.Unlock()
+	t.rows++
+}
+
+// Rows reads the guarded counter without the lock.
+func (t *Table) Rows() int {
+	return t.rows // want "field rows is guarded by \"Mutex\""
+}
+
+// journal is embedded below as a guarded field.
+type journal struct {
+	entries []string
+}
+
+// Log guards an EMBEDDED field: annotations on fields without names
+// used to be dropped silently (the false negative this corpus locks
+// in).
+type Log struct {
+	mu sync.Mutex
+	//dedupvet:guardedby mu
+	journal
+}
+
+// Rotate swaps the embedded journal without the lock.
+func (l *Log) Rotate() {
+	l.journal = journal{} // want "field journal is guarded by \"mu\""
+}
+
+// RotateSafe takes the lock first: clean.
+func (l *Log) RotateSafe() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.journal = journal{}
+}

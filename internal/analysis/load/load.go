@@ -117,17 +117,31 @@ func (im *Importer) lookup(path string) (io.ReadCloser, error) {
 		if err != nil {
 			return nil, err
 		}
+		var listErr string
 		for _, p := range pkgs {
 			im.add(p.ImportPath, p.Export)
+			if p.ImportPath == path && p.Error != nil {
+				listErr = p.Error.Err
+			}
 		}
 		im.mu.Lock()
 		file, ok = im.exports[path]
 		im.mu.Unlock()
 		if !ok {
-			return nil, fmt.Errorf("load: no export data for %q", path)
+			if listErr != "" {
+				return nil, fmt.Errorf("load: no export data for %q: %s", path, listErr)
+			}
+			return nil, fmt.Errorf("load: no export data for %q: the package did not compile, or the build cache holds no entry for it; run `go build %s` and retry", path, path)
 		}
 	}
-	return os.Open(file)
+	rc, err := os.Open(file)
+	if err != nil {
+		// The build cache entry go list reported has since been pruned
+		// (e.g. `go clean -cache` raced the analysis, or the cache is on
+		// ephemeral storage): the path is stale, not wrong.
+		return nil, fmt.Errorf("load: stale export data for %q: %v; the build cache entry recorded by `go list` is gone, run `go build ./...` to repopulate it", path, err)
+	}
+	return rc, nil
 }
 
 // NewLookupImporter returns a plain gc export-data importer whose lookup

@@ -1,0 +1,192 @@
+package load
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes files (path -> contents) under a fresh temp dir
+// and returns its root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, body := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const modHeader = "module example.com/m\n\ngo 1.24\n"
+
+// TestPackagesStdlibDeps loads a module whose only dependency is the
+// standard library: export data for fmt et al. must come out of the
+// build cache through the -deps listing.
+func TestPackagesStdlibDeps(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": modHeader,
+		"a/a.go": "package a\n\nimport \"fmt\"\n\nfunc Hello() string { return fmt.Sprintf(\"hi %d\", 1) }\n",
+	})
+	pkgs, err := Packages(dir, "./a")
+	if err != nil {
+		t.Fatalf("Packages: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Path != "example.com/m/a" {
+		t.Errorf("Path = %q, want example.com/m/a", p.Path)
+	}
+	if p.Types == nil || p.Info == nil || len(p.Files) != 1 {
+		t.Errorf("package not fully populated: Types=%v Info=%v files=%d", p.Types != nil, p.Info != nil, len(p.Files))
+	}
+	if len(p.Info.Defs) == 0 {
+		t.Error("Info.Defs is empty: type-checking facts missing")
+	}
+}
+
+// TestPackagesVendoredDeps loads a module with a vendored dependency:
+// go automatically switches to -mod=vendor when vendor/modules.txt is
+// present, and the dep's export data must still resolve (it is built
+// from the vendored source, not downloaded).
+func TestPackagesVendoredDeps(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": modHeader + "\nrequire example.com/dep v1.0.0\n",
+		"vendor/modules.txt": "# example.com/dep v1.0.0\n" +
+			"## explicit; go 1.24\n" +
+			"example.com/dep\n",
+		"vendor/example.com/dep/dep.go": "package dep\n\nfunc Answer() int { return 42 }\n",
+		"a/a.go":                        "package a\n\nimport \"example.com/dep\"\n\nvar X = dep.Answer()\n",
+	})
+	pkgs, err := Packages(dir, "./a")
+	if err != nil {
+		t.Fatalf("Packages with vendored dep: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "example.com/m/a" {
+		t.Fatalf("unexpected result: %+v", pkgs)
+	}
+}
+
+// TestPackagesInconsistentVendor: a vendor directory whose modules.txt
+// is missing a required module makes the go command refuse to build.
+// The loader must surface go's own diagnosis, not swallow it.
+func TestPackagesInconsistentVendor(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": modHeader + "\nrequire example.com/dep v1.0.0\n",
+		// modules.txt exists (so vendor mode activates) but lists nothing.
+		"vendor/modules.txt":            "",
+		"vendor/example.com/dep/dep.go": "package dep\n",
+		"a/a.go":                        "package a\n\nimport \"example.com/dep\"\n\nvar X = 1\n",
+	})
+	_, err := Packages(dir, "./a")
+	if err == nil {
+		t.Fatal("Packages succeeded; want inconsistent-vendoring error")
+	}
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "load: go list") {
+		t.Errorf("error does not identify the failing go list call: %v", err)
+	}
+	if !strings.Contains(msg, "vendor") {
+		t.Errorf("error does not carry go's vendoring diagnosis: %v", err)
+	}
+}
+
+// TestPackagesBrokenTarget: a target package that does not compile is
+// reported through go list's per-package Error with its import path.
+func TestPackagesBrokenTarget(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": modHeader,
+		"a/a.go": "package a\n\nfunc broken() { return undefinedName }\n",
+	})
+	_, err := Packages(dir, "./a")
+	if err == nil {
+		t.Fatal("Packages succeeded; want compile error")
+	}
+	if !strings.Contains(err.Error(), "example.com/m/a") {
+		t.Errorf("error does not name the broken package: %v", err)
+	}
+}
+
+// TestCheckParseError: Check reports the offending file on syntax
+// errors.
+func TestCheckParseError(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"bad.go": "package bad\n\nfunc {\n",
+	})
+	fset := token.NewFileSet()
+	_, err := Check(fset, NewImporter(fset, dir), "example.com/bad", dir, []string{"bad.go"})
+	if err == nil {
+		t.Fatal("Check succeeded; want parse error")
+	}
+	if !strings.Contains(err.Error(), "load: parse") || !strings.Contains(err.Error(), "bad.go") {
+		t.Errorf("parse error does not name the file: %v", err)
+	}
+}
+
+// TestCheckTypeError: Check reports the package path on type errors.
+func TestCheckTypeError(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": modHeader,
+		"x.go":   "package x\n\nvar V int = \"not an int\"\n",
+	})
+	fset := token.NewFileSet()
+	_, err := Check(fset, NewImporter(fset, dir), "example.com/m", dir, []string{"x.go"})
+	if err == nil {
+		t.Fatal("Check succeeded; want type error")
+	}
+	if !strings.Contains(err.Error(), "load: typecheck example.com/m") {
+		t.Errorf("type error does not name the package: %v", err)
+	}
+}
+
+// TestImporterMissingExportData: importing a path no module provides
+// must fail with a message that names the path instead of a bare gc
+// importer error. GOPROXY=off keeps the go command from reaching for
+// the network.
+func TestImporterMissingExportData(t *testing.T) {
+	t.Setenv("GOPROXY", "off")
+	t.Setenv("GOFLAGS", "")
+	dir := writeTree(t, map[string]string{
+		"go.mod": modHeader,
+		"a/a.go": "package a\n",
+	})
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, dir)
+	_, err := imp.Import("example.com/no/such/pkg")
+	if err == nil {
+		t.Fatal("Import succeeded; want missing-export-data error")
+	}
+	if !strings.Contains(err.Error(), "example.com/no/such/pkg") {
+		t.Errorf("error does not name the import path: %v", err)
+	}
+}
+
+// TestImporterStaleExportData: go list handed back an export file that
+// has since been pruned from the build cache. The importer must say the
+// entry is stale and how to refresh it, not just echo os.Open.
+func TestImporterStaleExportData(t *testing.T) {
+	dir := writeTree(t, map[string]string{"go.mod": modHeader})
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, dir)
+	imp.add("example.com/gone", filepath.Join(dir, "pruned-entry.a"))
+	_, err := imp.Import("example.com/gone")
+	if err == nil {
+		t.Fatal("Import succeeded; want stale-export-data error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "stale export data") || !strings.Contains(msg, "example.com/gone") {
+		t.Errorf("stale cache entry not diagnosed: %v", err)
+	}
+	if !strings.Contains(msg, "go build") {
+		t.Errorf("error gives no recovery hint: %v", err)
+	}
+}

@@ -1,0 +1,513 @@
+// Package lockorder defines the lockorder analyzer: it builds the mutex
+// acquisition graph of a package — which lock classes are acquired
+// while which others are held, following package-local calls — and
+// reports every cycle as a potential deadlock.
+//
+// A "lock class" is the declared sync.Mutex/sync.RWMutex variable or
+// struct field (all instances of a field are one class, the standard
+// conservative abstraction). The analysis is a forward may-held
+// dataflow over the ssa CFG: Lock/RLock/TryLock generate, explicit
+// Unlock/RUnlock kill, deferred unlocks hold to function exit. Holding
+// H while acquiring L adds the edge H→L; holding H while calling a
+// package-local function g adds H→l for every lock l that g (or its
+// callees) acquire. Any cycle — including the self-cycle of
+// re-acquiring a held class — is a potential deadlock.
+//
+// Intentional orderings are annotated at the edge's source line:
+//
+//	//dedupvet:lockorder <justification>
+//
+// on (or directly above) the acquisition or call site that creates the
+// edge removes that site's edges from the graph.
+//
+// Soundness caveats: the call graph is package-local, so cycles spanning
+// packages are invisible; classes conflate instances, so instance-
+// ordered hierarchies (locking two elements of a list in address order)
+// report false cycles and need the directive; locks leaked to callers
+// (lock-and-return) are not tracked past the acquiring function.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"dedupcr/internal/analysis"
+	"dedupcr/internal/analysis/ssa"
+)
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "report cycles in the mutex acquisition order (potential deadlocks)\n\n" +
+		"Builds the may-held lock graph over the package call graph and\n" +
+		"reports every cycle. Suppress an intentional edge with a\n" +
+		"//dedupvet:lockorder comment on the acquisition or call site.",
+	Run: run,
+}
+
+// lockOp classifies a sync.Mutex/RWMutex method call.
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opLock        // Lock, RLock, TryLock, TryRLock
+	opUnlock
+)
+
+// edge is one "acquired to while holding from" observation.
+type edge struct {
+	from, to types.Object
+	site     token.Pos // acquisition or call site creating the edge
+	heldAt   token.Pos // where from was acquired
+}
+
+func run(pass *analysis.Pass) error {
+	a := &analyzer{
+		pass:      pass,
+		acquires:  make(map[*types.Func]map[types.Object]token.Pos),
+		fieldName: make(map[types.Object]string),
+	}
+	a.indexFieldOwners()
+	a.cg = ssa.BuildCallGraph(pass.TypesInfo, pass.Files)
+
+	// Pass 1: per-function direct acquisitions (for call summaries).
+	for fn, node := range a.cg.Nodes {
+		a.acquires[fn] = a.directLocks(node.Decl.Body)
+	}
+	// Fixpoint: propagate callee acquisitions up the package call graph.
+	for changed := true; changed; {
+		changed = false
+		for fn, node := range a.cg.Nodes {
+			for _, call := range node.Calls {
+				callee, ok := a.localCallee(call)
+				if !ok {
+					continue
+				}
+				for cls, pos := range a.acquires[callee] {
+					if _, seen := a.acquires[fn][cls]; !seen {
+						a.acquires[fn][cls] = pos
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: dataflow per function, emitting edges.
+	var edges []edge
+	for _, node := range a.cg.Nodes {
+		edges = append(edges, a.functionEdges(node)...)
+	}
+
+	a.reportCycles(edges)
+	return nil
+}
+
+type analyzer struct {
+	pass      *analysis.Pass
+	cg        *ssa.CallGraph
+	acquires  map[*types.Func]map[types.Object]token.Pos
+	fieldName map[types.Object]string // field object → "Type.field"
+}
+
+// indexFieldOwners maps struct-field lock objects to "Type.field" names
+// for readable diagnostics.
+func (a *analyzer) indexFieldOwners() {
+	for _, file := range a.pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, f := range st.Fields.List {
+					for _, name := range f.Names {
+						if obj := a.pass.TypesInfo.Defs[name]; obj != nil {
+							a.fieldName[obj] = ts.Name.Name + "." + name.Name
+						}
+					}
+					// Embedded field: the type name is the field name.
+					if len(f.Names) == 0 {
+						if id := embeddedIdent(f.Type); id != nil {
+							if obj := a.pass.TypesInfo.Defs[id]; obj != nil {
+								a.fieldName[obj] = ts.Name.Name + "." + id.Name
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func embeddedIdent(t ast.Expr) *ast.Ident {
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t
+	case *ast.StarExpr:
+		return embeddedIdent(t.X)
+	case *ast.SelectorExpr:
+		return t.Sel
+	}
+	return nil
+}
+
+// className renders a lock class for diagnostics.
+func (a *analyzer) className(obj types.Object) string {
+	if n, ok := a.fieldName[obj]; ok {
+		return n
+	}
+	return obj.Name()
+}
+
+// classify resolves a call expression to (lock class, operation).
+// Returns opNone for anything that is not a sync mutex method call.
+func (a *analyzer) classify(call *ast.CallExpr) (types.Object, lockOp) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, opNone
+	}
+	fn, _ := a.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, opNone
+	}
+	var op lockOp
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		op = opLock
+	case "Unlock", "RUnlock":
+		op = opUnlock
+	default:
+		return nil, opNone
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || !isMutexType(recv.Type()) {
+		return nil, opNone
+	}
+	cls := a.lockClass(sel)
+	if cls == nil {
+		return nil, opNone
+	}
+	return cls, op
+}
+
+// lockClass resolves the receiver of a mutex method selector to the
+// declared lock object: the mutex field, the embedded mutex field of a
+// promoted call, or the (package or local) mutex variable.
+func (a *analyzer) lockClass(sel *ast.SelectorExpr) types.Object {
+	info := a.pass.TypesInfo
+	// Promoted method (x.Lock() with embedded sync.Mutex): resolve the
+	// embedded field the selection steps through.
+	if s, ok := info.Selections[sel]; ok && len(s.Index()) > 1 {
+		t := s.Recv()
+		var field *types.Var
+		for _, idx := range s.Index()[:len(s.Index())-1] {
+			st, ok := derefStruct(t)
+			if !ok {
+				return nil
+			}
+			field = st.Field(idx)
+			t = field.Type()
+		}
+		return field
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		// v.mu.Lock(): the field (or qualified package var) is the class.
+		if s, ok := info.Selections[x]; ok {
+			return s.Obj()
+		}
+		return info.Uses[x.Sel]
+	case *ast.Ident:
+		// mu.Lock(): local or package-level mutex variable.
+		return info.Uses[x]
+	}
+	return nil
+}
+
+func derefStruct(t types.Type) (*types.Struct, bool) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync" &&
+		(n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex")
+}
+
+// directLocks collects every lock class acquired anywhere in body
+// (including inside function literals — goroutines launched while the
+// caller holds locks still order against them).
+func (a *analyzer) directLocks(body *ast.BlockStmt) map[types.Object]token.Pos {
+	out := make(map[types.Object]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if cls, op := a.classify(call); op == opLock {
+			if _, seen := out[cls]; !seen {
+				out[cls] = call.Pos()
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// localCallee resolves a call to a function declared in this package
+// with a body.
+func (a *analyzer) localCallee(call ssa.Call) (*types.Func, bool) {
+	if call.Callee == nil {
+		return nil, false
+	}
+	_, ok := a.cg.Nodes[call.Callee]
+	return call.Callee, ok
+}
+
+// functionEdges runs the may-held dataflow over one function and
+// returns the lock-order edges it creates.
+func (a *analyzer) functionEdges(node *ssa.Node) []edge {
+	f := ssa.Build(a.pass.TypesInfo, node.Decl.Body)
+
+	type heldSet map[types.Object]token.Pos
+	in := make(map[*ssa.Block]heldSet)
+	union := func(dst heldSet, src heldSet) bool {
+		changed := false
+		for k, v := range src {
+			if _, ok := dst[k]; !ok {
+				dst[k] = v
+				changed = true
+			}
+		}
+		return changed
+	}
+	// transfer applies one block's statements to held. When emit is
+	// non-nil it is called for events (final pass).
+	transfer := func(b *ssa.Block, held heldSet, emit func(stmt ast.Stmt, call *ast.CallExpr, held heldSet)) heldSet {
+		cur := make(heldSet, len(held))
+		for k, v := range held {
+			cur[k] = v
+		}
+		for _, stmt := range b.Stmts {
+			if _, isDefer := stmt.(*ast.DeferStmt); isDefer {
+				// Deferred unlocks release at exit; the lock stays held
+				// for ordering purposes. Deferred locks are not a
+				// pattern we model.
+				continue
+			}
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false // literals analyzed via directLocks summaries only
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				cls, op := a.classify(call)
+				switch op {
+				case opLock:
+					if emit != nil {
+						emit(stmt, call, cur)
+					}
+					cur[cls] = call.Pos()
+				case opUnlock:
+					delete(cur, cls)
+				case opNone:
+					if emit != nil {
+						emit(stmt, call, cur)
+					}
+				}
+				return true
+			})
+		}
+		return cur
+	}
+
+	// Fixpoint on block in-sets.
+	for _, b := range f.Blocks {
+		in[b] = make(heldSet)
+	}
+	work := []*ssa.Block{f.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := transfer(b, in[b], nil)
+		for _, succ := range b.Succs {
+			if union(in[succ], out) {
+				work = append(work, succ)
+			}
+		}
+	}
+
+	// Final pass: emit edges with stable in-sets.
+	var edges []edge
+	reachable := f.ReachableFromEntry()
+	for _, b := range f.Blocks {
+		if !reachable[b] {
+			continue
+		}
+		transfer(b, in[b], func(stmt ast.Stmt, call *ast.CallExpr, held heldSet) {
+			if len(held) == 0 {
+				return
+			}
+			cls, op := a.classify(call)
+			if op == opLock {
+				for from, heldAt := range held {
+					edges = append(edges, edge{from: from, to: cls, site: call.Pos(), heldAt: heldAt})
+				}
+				return
+			}
+			// Call while holding locks: pull in the callee's transitive
+			// acquisitions.
+			callee := a.pass.CalleeFunc(call)
+			if callee == nil {
+				return
+			}
+			acq, ok := a.acquires[callee]
+			if !ok {
+				return
+			}
+			for to := range acq {
+				for from, heldAt := range held {
+					edges = append(edges, edge{from: from, to: to, site: call.Pos(), heldAt: heldAt})
+				}
+			}
+		})
+	}
+	return edges
+}
+
+// reportCycles builds the class graph from edges (dropping suppressed
+// sites) and reports every strongly connected component containing a
+// cycle, plus direct self-cycles.
+func (a *analyzer) reportCycles(edges []edge) {
+	type key struct{ from, to types.Object }
+	sites := make(map[key]edge) // earliest site per class edge
+	adj := make(map[types.Object][]types.Object)
+	nodes := make(map[types.Object]bool)
+	for _, e := range edges {
+		if a.pass.Suppressed(e.site, "lockorder") {
+			continue
+		}
+		k := key{e.from, e.to}
+		if prev, ok := sites[k]; !ok || e.site < prev.site {
+			sites[k] = e
+		}
+		nodes[e.from], nodes[e.to] = true, true
+	}
+	for k := range sites {
+		adj[k.from] = append(adj[k.from], k.to)
+	}
+
+	// Self-cycles first: re-acquiring a held class.
+	for k, e := range sites {
+		if k.from == k.to {
+			a.pass.Reportf(e.site, "lock %s acquired at %s while already held (self-cycle; possible deadlock)",
+				a.className(k.to), a.pass.Fset.Position(e.heldAt))
+		}
+	}
+
+	// Tarjan SCC over the class graph.
+	index := make(map[types.Object]int)
+	low := make(map[types.Object]int)
+	onStack := make(map[types.Object]bool)
+	var stack []types.Object
+	var counter int
+	var sccs [][]types.Object
+	var strongconnect func(v types.Object)
+	strongconnect = func(v types.Object) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []types.Object
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	// Deterministic visit order: by class name then declaration pos.
+	ordered := make([]types.Object, 0, len(nodes))
+	for n := range nodes {
+		ordered = append(ordered, n)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		ni, nj := a.className(ordered[i]), a.className(ordered[j])
+		if ni != nj {
+			return ni < nj
+		}
+		return ordered[i].Pos() < ordered[j].Pos()
+	})
+	for _, n := range ordered {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+
+	for _, scc := range sccs {
+		sort.Slice(scc, func(i, j int) bool { return a.className(scc[i]) < a.className(scc[j]) })
+		// Describe the cycle through its internal edges, positioned at
+		// the earliest participating site.
+		var parts []string
+		var at token.Pos
+		for _, from := range scc {
+			for _, to := range scc {
+				e, ok := sites[key{from, to}]
+				if !ok {
+					continue
+				}
+				parts = append(parts, fmt.Sprintf("%s->%s at %s",
+					a.className(from), a.className(to), a.pass.Fset.Position(e.site)))
+				if at == token.NoPos || e.site < at {
+					at = e.site
+				}
+			}
+		}
+		a.pass.Reportf(at, "lock-order cycle: %s (possible deadlock; annotate the intended order with %slockorder)",
+			strings.Join(parts, ", "), analysis.DirectivePrefix)
+	}
+}

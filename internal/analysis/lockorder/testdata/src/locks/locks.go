@@ -1,0 +1,149 @@
+// Package locks is the lockorder golden corpus: each type pair below is
+// one isolated scenario (classes are per-field, so scenarios sharing a
+// type would share graph nodes).
+package locks
+
+import "sync"
+
+// --- direct AB/BA cycle -------------------------------------------------
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+func abba(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock-order cycle"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func baab(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// --- the same cycle, suppressed with a reviewed directive ---------------
+
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+func cd(c *C, d *D) {
+	c.mu.Lock()
+	//dedupvet:lockorder abort path intentionally inverts the order; dc only runs post-drain
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func dc(c *C, d *D) {
+	d.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// --- interprocedural cycle through a package-local call -----------------
+
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+func ef(e *E, f *F) {
+	e.mu.Lock()
+	lockF(f) // want "lock-order cycle"
+	e.mu.Unlock()
+}
+
+func lockF(f *F) {
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+func fe(e *E, f *F) {
+	f.mu.Lock()
+	e.mu.Lock()
+	e.mu.Unlock()
+	f.mu.Unlock()
+}
+
+// --- self-cycles --------------------------------------------------------
+
+type G struct{ mu sync.Mutex }
+
+func (g *G) doubleLock() {
+	g.mu.Lock()
+	g.mu.Lock() // want "self-cycle"
+	g.mu.Unlock()
+	g.mu.Unlock()
+}
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) compact() {
+	s.mu.Lock()
+	s.lockingHelper() // want "self-cycle"
+	s.mu.Unlock()
+}
+
+func (s *S) lockingHelper() {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// --- consistent order: no findings --------------------------------------
+
+type H struct{ mu sync.Mutex }
+type I struct{ mu sync.Mutex }
+
+func hi1(h *H, i *I) {
+	h.mu.Lock()
+	defer h.mu.Unlock() // deferred unlock: h stays held below
+	i.mu.Lock()
+	i.mu.Unlock()
+}
+
+func hi2(h *H, i *I) {
+	h.mu.Lock()
+	i.mu.Lock()
+	i.mu.Unlock()
+	h.mu.Unlock()
+}
+
+// release proves Unlock kills the held set: without the kill, the
+// i-then-h order here would close a cycle against hi1/hi2.
+func release(h *H, i *I) {
+	i.mu.Lock()
+	i.mu.Unlock()
+	h.mu.Lock()
+	h.mu.Unlock()
+}
+
+// RLock participates in ordering like Lock but this use is consistent.
+type R struct{ mu sync.RWMutex }
+
+func rw(r *R, h *H) {
+	r.mu.RLock()
+	h.mu.Lock()
+	h.mu.Unlock()
+	r.mu.RUnlock()
+}
+
+// --- embedded (promoted) mutexes form classes too -----------------------
+
+type P struct{ sync.Mutex }
+type Q struct{ sync.Mutex }
+
+func pq(p *P, q *Q) {
+	p.Lock()
+	q.Lock() // want "lock-order cycle"
+	q.Unlock()
+	p.Unlock()
+}
+
+func qp(p *P, q *Q) {
+	q.Lock()
+	p.Lock()
+	p.Unlock()
+	q.Unlock()
+}

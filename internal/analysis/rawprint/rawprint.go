@@ -12,10 +12,15 @@
 //   - every call into the standard "log" package
 //   - the print / println builtins
 //
-// Exempt: cmd/ and examples/ binaries (their stdout IS the product),
-// _test.go files, and internal/obs itself — the recorder needs one
-// sanctioned sink of last resort. An audited exception carries a
-// `//dedupvet:rawprint` directive.
+// cmd/ packages are checked in a relaxed mode with a documented
+// exemption: their stdout IS the product, so the fmt family is allowed;
+// the standard "log" package and the print/println builtins are still
+// flagged — binaries log through the same slog/obs front-end as the
+// libraries, so crash-time diagnostics land in the flight recorder.
+//
+// Fully exempt: examples/ binaries, _test.go files, and internal/obs
+// itself — the recorder needs one sanctioned sink of last resort. An
+// audited exception carries a `//dedupvet:rawprint` directive.
 package rawprint
 
 import (
@@ -38,7 +43,9 @@ var Analyzer = &analysis.Analyzer{
 const Directive = "rawprint"
 
 func run(pass *analysis.Pass) error {
-	if !isLibraryPkg(pass.Path()) {
+	path := pass.Path()
+	cmd := isCmdPkg(path)
+	if !cmd && !isLibraryPkg(path) {
 		return nil
 	}
 	for _, file := range pass.Files {
@@ -51,7 +58,7 @@ func run(pass *analysis.Pass) error {
 			if !ok {
 				return true
 			}
-			check(pass, call)
+			check(pass, call, cmd)
 			return true
 		})
 	}
@@ -59,10 +66,11 @@ func run(pass *analysis.Pass) error {
 }
 
 // isLibraryPkg mirrors ctxcheck's scope: internal/ subtrees and the bare
-// module-root facade are library territory; cmd/ and examples/ are not,
-// and internal/obs is the sanctioned sink itself.
+// module-root facade are library territory; examples/ is not, and
+// internal/obs is the sanctioned sink itself. cmd/ is handled
+// separately in a relaxed mode.
 func isLibraryPkg(path string) bool {
-	if strings.Contains(path, "/cmd/") || strings.HasPrefix(path, "cmd/") ||
+	if isCmdPkg(path) ||
 		strings.Contains(path, "/examples/") || strings.HasPrefix(path, "examples/") {
 		return false
 	}
@@ -72,12 +80,22 @@ func isLibraryPkg(path string) bool {
 	return strings.Contains(path, "internal/") || !strings.Contains(path, "/")
 }
 
-func check(pass *analysis.Pass, call *ast.CallExpr) {
+func isCmdPkg(path string) bool {
+	return strings.Contains(path, "/cmd/") || strings.HasPrefix(path, "cmd/")
+}
+
+// check inspects one call; in cmd mode (cmdOnly) the fmt family is
+// exempt because stdout is the binary's product.
+func check(pass *analysis.Pass, call *ast.CallExpr, cmdOnly bool) {
+	scope := "library code"
+	if cmdOnly {
+		scope = "command code"
+	}
 	// The print/println builtins resolve to no *types.Func.
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
 		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok &&
 			(b.Name() == "print" || b.Name() == "println") {
-			report(pass, call, "builtin "+b.Name())
+			report(pass, call, "builtin "+b.Name(), scope)
 		}
 		return
 	}
@@ -87,15 +105,18 @@ func check(pass *analysis.Pass, call *ast.CallExpr) {
 	}
 	switch analysis.FuncPkgPath(callee) {
 	case "log":
-		report(pass, call, "log."+callee.Name())
+		report(pass, call, "log."+callee.Name(), scope)
 	case "fmt":
+		if cmdOnly {
+			return
+		}
 		name := callee.Name()
 		switch {
 		case name == "Print" || name == "Printf" || name == "Println":
-			report(pass, call, "fmt."+name)
+			report(pass, call, "fmt."+name, scope)
 		case strings.HasPrefix(name, "Fprint") && len(call.Args) > 0:
 			if std := osStdStream(pass, call.Args[0]); std != "" {
-				report(pass, call, "fmt."+name+" to os."+std)
+				report(pass, call, "fmt."+name+" to os."+std, scope)
 			}
 		}
 	}
@@ -118,10 +139,10 @@ func osStdStream(pass *analysis.Pass, e ast.Expr) string {
 	return ""
 }
 
-func report(pass *analysis.Pass, call *ast.CallExpr, what string) {
+func report(pass *analysis.Pass, call *ast.CallExpr, what, scope string) {
 	if pass.Suppressed(call.Pos(), Directive) {
 		return
 	}
-	pass.Reportf(call.Pos(), "raw print (%s) in library code: route diagnostics through internal/obs (audited sites are annotated %s%s)",
-		what, analysis.DirectivePrefix, Directive)
+	pass.Reportf(call.Pos(), "raw print (%s) in %s: route diagnostics through internal/obs (audited sites are annotated %s%s)",
+		what, scope, analysis.DirectivePrefix, Directive)
 }

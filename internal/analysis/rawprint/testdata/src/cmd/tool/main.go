@@ -1,4 +1,6 @@
-// Command tool is a cmd/ fixture: stdout is its product, prints are fine.
+// Command tool exercises the relaxed cmd/ mode: stdout is its product,
+// so the fmt family is allowed — but the standard log package and the
+// print builtins still bypass the flight recorder.
 package main
 
 import (
@@ -10,5 +12,8 @@ import (
 func main() {
 	fmt.Println("report")
 	fmt.Fprintf(os.Stderr, "usage: tool\n")
-	log.Printf("cli logging is allowed")
+	log.Printf("legacy logging") // want "raw print \\(log.Printf\\) in command code"
+	println("scratch")           // want "raw print \\(builtin println\\) in command code"
+	//dedupvet:rawprint last-resort banner before the recorder exists
+	log.Println("boot")
 }

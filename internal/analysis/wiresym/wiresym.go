@@ -1,0 +1,1354 @@
+// Package wiresym checks write/read symmetry of hand-rolled binary
+// codecs. For every Encode*/Decode* (or Marshal*/Unmarshal*,
+// encode*/decode*) pair in a package it abstracts both bodies into a
+// canonical wire-op sequence — u8, u16, u32, u64, uvarint, bytes,
+// rep{...} for variable repetition, alt{...|...} for optional or
+// version-gated branches — and reports when the encoder's write
+// sequence and the decoder's read sequence disagree. This is the check
+// that catches "encoder appended a field, decoder still reads the old
+// layout" before a mixed-version group mis-decodes a gather.
+//
+// The abstraction understands the codec idioms used in this tree:
+// binary.BigEndian.AppendUintN / UintN with an advancing cursor
+// (data = data[n:]), binary.AppendUvarint / Uvarint columns, append of
+// magic strings and flag bytes, count-prefixed loops, length-prefixed
+// sub-encodings handed to Marshal/Unmarshal helpers, trailing
+// checksums read with data[len(data)-4:], single-assignment local
+// codec closures, and error-return bail-outs (which are validation
+// paths, not wire layout, and are discarded).
+//
+// A function the extractor cannot model (dynamic dispatch, select,
+// reassigned codec closures, ...) is skipped — soundness caveat: no
+// finding is reported for such pairs, and pairing is name-based and
+// package-local. An intentional asymmetry (e.g. a decoder accepting a
+// superseded layout the encoder no longer writes) is annotated on
+// either function's doc comment:
+//
+//	//dedupvet:wiresym <justification>
+package wiresym
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"dedupcr/internal/analysis"
+	"dedupcr/internal/analysis/ssa"
+)
+
+// Analyzer is the codec write/read symmetry checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "wiresym",
+	Doc: "Encode*/Decode* pairs must write and read the same wire-op " +
+		"sequence (type, order, count prefixes, version gates)",
+	Run: run,
+}
+
+// Directive marks an audited, intentionally asymmetric codec pair.
+const Directive = "wiresym"
+
+func run(pass *analysis.Pass) error {
+	for _, p := range Pairs(pass) {
+		if !p.EncOK || !p.DecOK || p.Match {
+			continue
+		}
+		if p.suppressed(pass) {
+			continue
+		}
+		pass.Reportf(p.decPos, "wire asymmetry: %s writes [%s] but %s reads [%s]; fix the codec or annotate with %s%s",
+			p.EncName, p.EncOps, p.DecName, p.DecOps, analysis.DirectivePrefix, Directive)
+	}
+	return nil
+}
+
+// Pair is one matched encoder/decoder couple and the extraction result
+// for each side. Exported so the coverage test can assert that the real
+// codecs in the tree are modeled (EncOK/DecOK) and symmetric (Match).
+type Pair struct {
+	Base    string // lower-cased codec family name, e.g. "segindex"
+	EncName string
+	DecName string
+	EncOps  string // canonical wire-op sequence, "" when !EncOK
+	DecOps  string
+	EncOK   bool // extractor modeled the whole encoder body
+	DecOK   bool
+	Match   bool // EncOK && DecOK && EncOps == DecOps
+
+	encDecl *ast.FuncDecl
+	decDecl *ast.FuncDecl
+	decPos  token.Pos
+}
+
+func (p *Pair) suppressed(pass *analysis.Pass) bool {
+	for _, d := range []*ast.FuncDecl{p.encDecl, p.decDecl} {
+		if _, ok := analysis.FuncDirective(d, Directive); ok {
+			return true
+		}
+		if pass.Suppressed(d.Name.Pos(), Directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pairs extracts and matches every codec pair in the package.
+func Pairs(pass *analysis.Pass) []Pair {
+	type side struct {
+		decl *ast.FuncDecl
+		n    int // how many functions claimed this base+side
+	}
+	encs := make(map[string]*side)
+	decs := make(map[string]*side)
+	claim := func(m map[string]*side, base string, d *ast.FuncDecl) {
+		if s, ok := m[base]; ok {
+			s.n++
+			return
+		}
+		m[base] = &side{decl: d, n: 1}
+	}
+	for _, d := range pass.FuncDecls() {
+		if d.Body == nil {
+			continue
+		}
+		if base, ok := codecBase(d, encPrefixes); ok {
+			claim(encs, base, d)
+			continue
+		}
+		if base, ok := codecBase(d, decPrefixes); ok {
+			claim(decs, base, d)
+		}
+	}
+	var out []Pair
+	for base, e := range encs {
+		d, ok := decs[base]
+		// Ambiguous bases (two encoders or two decoders) are skipped:
+		// pairing would be a guess.
+		if !ok || e.n != 1 || d.n != 1 {
+			continue
+		}
+		encOps, encOK := extract(pass, e.decl)
+		decOps, decOK := extract(pass, d.decl)
+		p := Pair{
+			Base:    base,
+			EncName: e.decl.Name.Name,
+			DecName: d.decl.Name.Name,
+			EncOK:   encOK,
+			DecOK:   decOK,
+			encDecl: e.decl,
+			decDecl: d.decl,
+			decPos:  d.decl.Name.Pos(),
+		}
+		if encOK {
+			p.EncOps = render(normalize(encOps))
+		}
+		if decOK {
+			p.DecOps = render(normalize(decOps))
+		}
+		p.Match = encOK && decOK && p.EncOps == p.DecOps
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out
+}
+
+var encPrefixes = []string{"Encode", "encode", "Marshal", "marshal"}
+var decPrefixes = []string{"Decode", "decode", "Unmarshal", "unmarshal"}
+
+// codecBase derives the codec family name from a function name: the
+// part after the Encode/Decode prefix, falling back to the receiver
+// type for bare `encode` methods and MarshalBinary/MarshalText.
+func codecBase(d *ast.FuncDecl, prefixes []string) (string, bool) {
+	name := d.Name.Name
+	for _, p := range prefixes {
+		if !strings.HasPrefix(name, p) {
+			continue
+		}
+		base := name[len(p):]
+		if base == "" || base == "Binary" || base == "Text" {
+			base = recvTypeName(d) + base
+		}
+		if base == "" {
+			return "", false
+		}
+		return strings.ToLower(base), true
+	}
+	return "", false
+}
+
+func recvTypeName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// --- wire-op model --------------------------------------------------------
+
+type opKind int
+
+const (
+	oU8 opKind = iota
+	oU16
+	oU32
+	oU64
+	oUvarint
+	oBytes
+	oRep
+	oAlt
+)
+
+type op struct {
+	kind  opKind
+	width int64  // oBytes: const byte width, -1 unknown
+	body  []op   // oRep
+	alts  [][]op // oAlt
+}
+
+func (o op) String() string {
+	switch o.kind {
+	case oU8:
+		return "u8"
+	case oU16:
+		return "u16"
+	case oU32:
+		return "u32"
+	case oU64:
+		return "u64"
+	case oUvarint:
+		return "uvarint"
+	case oBytes:
+		return "bytes"
+	case oRep:
+		return "rep{" + render(o.body) + "}"
+	case oAlt:
+		parts := make([]string, len(o.alts))
+		for i, b := range o.alts {
+			parts[i] = render(b)
+		}
+		return "alt{" + strings.Join(parts, "|") + "}"
+	}
+	return "?"
+}
+
+func render(ops []op) string {
+	parts := make([]string, len(ops))
+	for i, o := range ops {
+		parts[i] = o.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// fixedWidth is the encoded byte width of a fixed-size op, or -1.
+func fixedWidth(o op) int64 {
+	switch o.kind {
+	case oU8:
+		return 1
+	case oU16:
+		return 2
+	case oU32:
+		return 4
+	case oU64:
+		return 8
+	case oBytes:
+		if o.width >= 0 {
+			return o.width
+		}
+	}
+	return -1
+}
+
+// maxFill bounds how many filler u8 ops a layout gap or a const-width
+// bytes expansion may produce; anything larger stays opaque rather than
+// exploding the canonical sequence.
+const maxFill = 64
+
+// normalize rewrites ops into canonical form: const-width byte runs
+// become u8 sequences, empty reps vanish, alt branches are deduped,
+// common prefixes factored out, and the optional-repetition identity
+// alt{ | rep X} = rep X applied (a count prefix of zero and an absent
+// loop encode identically).
+func normalize(ops []op) []op {
+	var out []op
+	for _, o := range ops {
+		switch o.kind {
+		case oRep:
+			body := normalize(o.body)
+			if len(body) == 0 {
+				continue
+			}
+			out = append(out, op{kind: oRep, body: body})
+		case oAlt:
+			out = append(out, normAlt(o.alts)...)
+		case oBytes:
+			if o.width >= 0 && o.width <= maxFill {
+				for i := int64(0); i < o.width; i++ {
+					out = append(out, op{kind: oU8})
+				}
+			} else {
+				out = append(out, op{kind: oBytes, width: -1})
+			}
+		default:
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func normAlt(alts [][]op) []op {
+	branches := make([][]op, 0, len(alts))
+	for _, b := range alts {
+		branches = append(branches, normalize(b))
+	}
+	branches = dedupeBranches(branches)
+	if len(branches) == 1 {
+		return branches[0]
+	}
+	// Factor the longest common prefix out of the alternation.
+	var prefix []op
+	for len(branches[0]) > 0 {
+		head := branches[0][0].String()
+		same := true
+		for _, b := range branches[1:] {
+			if len(b) == 0 || b[0].String() != head {
+				same = false
+				break
+			}
+		}
+		if !same {
+			break
+		}
+		prefix = append(prefix, branches[0][0])
+		for i := range branches {
+			branches[i] = branches[i][1:]
+		}
+	}
+	branches = dedupeBranches(branches)
+	if len(branches) == 1 {
+		return append(prefix, branches[0]...)
+	}
+	// alt{ | rep X ...} where the non-empty branch is repetition only:
+	// a zero count and an absent branch are the same wire bytes.
+	if len(branches) == 2 {
+		var other []op
+		hasEmpty := false
+		for _, b := range branches {
+			if len(b) == 0 {
+				hasEmpty = true
+			} else {
+				other = b
+			}
+		}
+		if hasEmpty && len(other) > 0 {
+			allRep := true
+			for _, o := range other {
+				if o.kind != oRep {
+					allRep = false
+					break
+				}
+			}
+			if allRep {
+				return append(prefix, other...)
+			}
+		}
+	}
+	sort.Slice(branches, func(i, j int) bool { return render(branches[i]) < render(branches[j]) })
+	return append(prefix, op{kind: oAlt, alts: branches})
+}
+
+func dedupeBranches(branches [][]op) [][]op {
+	seen := make(map[string]bool)
+	out := branches[:0]
+	for _, b := range branches {
+		key := render(b)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, b)
+	}
+	return out
+}
+
+// --- extractor ------------------------------------------------------------
+
+// pending is a decoder read observed before the cursor advance that
+// fixes its position: Uint32(data) is pending at offset 0 until
+// data = data[4:] lays the preceding reads out and resets offsets.
+type pending struct {
+	kind  opKind
+	off   int64 // const byte offset from the current cursor, -1 unknown
+	width int64 // oBytes only: const width, -1 unknown
+	rep   []op  // a loop body's reads, replicated an unknown number of times
+}
+
+type frame struct {
+	ops  []op
+	pend []pending
+}
+
+type flow int
+
+const (
+	flowNext   flow = iota // control continues to the next statement
+	flowReturn             // every path returned a success value
+	flowBail               // every path returned a validation error
+)
+
+type extractor struct {
+	info    *types.Info
+	scope   ast.Node              // enclosing FuncDecl body, for closure lookups
+	cursors map[types.Object]bool // []byte views being consumed
+	closure map[types.Object][]op // memoized single-assignment codec closures
+	trailer []pending             // reads at len(data)-k, emitted last
+	opaque  bool
+
+	// Shared across the delegation chain rooted at one extract call:
+	decls map[*types.Func]*ast.FuncDecl // same-package bodies, for delegation
+	fns   map[*types.Func][]op          // memoized delegated ops; nil = opaque or in progress
+}
+
+// extract abstracts fn's body into a wire-op sequence; ok is false when
+// the body uses constructs the extractor cannot model.
+func extract(pass *analysis.Pass, fn *ast.FuncDecl) ([]op, bool) {
+	x := &extractor{
+		info:  pass.TypesInfo,
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		fns:   make(map[*types.Func][]op),
+	}
+	for _, d := range pass.FuncDecls() {
+		if obj, ok := pass.TypesInfo.Defs[d.Name].(*types.Func); ok && d.Body != nil {
+			x.decls[obj] = d
+		}
+	}
+	obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	return x.funcOps(obj, fn)
+}
+
+// funcOps extracts decl's body in a fresh per-function frame, memoizing
+// the result so delegated helpers (r.decode, readHeader) are abstracted
+// once. A nil memo entry cuts recursion: a self-recursive codec is
+// opaque.
+func (x *extractor) funcOps(fn *types.Func, decl *ast.FuncDecl) ([]op, bool) {
+	if ops, seen := x.fns[fn]; seen {
+		return ops, ops != nil
+	}
+	x.fns[fn] = nil
+	sub := &extractor{
+		info:    x.info,
+		scope:   decl.Body,
+		cursors: make(map[types.Object]bool),
+		closure: make(map[types.Object][]op),
+		decls:   x.decls,
+		fns:     x.fns,
+	}
+	if decl.Type.Params != nil {
+		for _, field := range decl.Type.Params.List {
+			for _, name := range field.Names {
+				obj := x.info.Defs[name]
+				if obj != nil && isByteSlice(obj.Type()) {
+					sub.cursors[obj] = true
+				}
+			}
+		}
+	}
+	f := &frame{}
+	sub.walk(f, decl.Body.List)
+	sub.flush(f, -1)
+	for _, p := range sub.trailer {
+		f.ops = append(f.ops, pendingOp(p))
+	}
+	if sub.opaque {
+		return nil, false
+	}
+	ops := f.ops
+	if ops == nil {
+		ops = []op{}
+	}
+	x.fns[fn] = ops
+	return ops, true
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func pendingOp(p pending) op {
+	switch p.kind {
+	case oBytes:
+		return op{kind: oBytes, width: p.width}
+	case oRep:
+		return op{kind: oRep, body: p.rep}
+	}
+	return op{kind: p.kind}
+}
+
+// walk processes stmts into f, returning how control leaves the list.
+func (x *extractor) walk(f *frame, stmts []ast.Stmt) flow {
+	for i, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			return x.ret(f, s)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				x.stmt(f, s.Init)
+			}
+			arms := []armSrc{{body: s.Body.List}}
+			switch e := s.Else.(type) {
+			case nil:
+				arms = append(arms, armSrc{implicit: true})
+			case *ast.BlockStmt:
+				arms = append(arms, armSrc{body: e.List})
+			case *ast.IfStmt:
+				arms = append(arms, armSrc{body: []ast.Stmt{e}})
+			}
+			return x.branch(f, arms, stmts[i+1:])
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				x.stmt(f, s.Init)
+			}
+			var arms []armSrc
+			hasDefault := false
+			for _, c := range s.Body.List {
+				cc := c.(*ast.CaseClause)
+				if cc.List == nil {
+					hasDefault = true
+				}
+				arms = append(arms, armSrc{body: cc.Body})
+			}
+			if !hasDefault {
+				arms = append(arms, armSrc{implicit: true})
+			}
+			return x.branch(f, arms, stmts[i+1:])
+		case *ast.ForStmt:
+			x.loop(f, s.Init, s.Body, forTripCount(x.info, s))
+		case *ast.RangeStmt:
+			x.loop(f, nil, s.Body, x.rangeTripCount(s))
+		case *ast.BlockStmt:
+			if fl := x.walk(f, s.List); fl != flowNext {
+				return fl
+			}
+		case *ast.LabeledStmt:
+			if fl := x.walk(f, []ast.Stmt{s.Stmt}); fl != flowNext {
+				return fl
+			}
+		default:
+			x.stmt(f, s)
+		}
+		if x.opaque {
+			return flowNext
+		}
+	}
+	return flowNext
+}
+
+type armSrc struct {
+	body     []ast.Stmt
+	implicit bool // absent else / missing default: an empty fall-through arm
+}
+
+type armResult struct {
+	ops []op
+	fl  flow
+}
+
+// branch models a multi-way conditional. Bail arms (validation errors)
+// are discarded. If every surviving arm falls through, the alternation
+// is emitted inline and walking continues; if some arm returns, the
+// statements after the conditional belong to the fall-through arms and
+// the whole remainder collapses into one alternation.
+func (x *extractor) branch(f *frame, arms []armSrc, rest []ast.Stmt) flow {
+	var results []armResult
+	anyReturn := false
+	for _, a := range arms {
+		af := &frame{}
+		fl := flowNext
+		if !a.implicit {
+			fl = x.walk(af, a.body)
+		}
+		if x.opaque {
+			return flowNext
+		}
+		if fl == flowBail {
+			continue
+		}
+		x.flush(af, -1)
+		if fl == flowReturn {
+			anyReturn = true
+		}
+		results = append(results, armResult{ops: af.ops, fl: fl})
+	}
+	if len(results) == 0 {
+		return flowBail
+	}
+	if !anyReturn {
+		x.emitAlt(f, results, nil)
+		return x.walk(f, rest)
+	}
+	rf := &frame{}
+	restFlow := x.walk(rf, rest)
+	if x.opaque {
+		return flowNext
+	}
+	x.flush(rf, -1)
+	if restFlow == flowNext {
+		hasCont := false
+		for _, r := range results {
+			if r.fl == flowNext {
+				hasCont = true
+			}
+		}
+		if hasCont && len(rest) > 0 {
+			// A returning arm next to a fall-through arm whose
+			// continuation itself falls through cannot be expressed as
+			// one sequence.
+			x.opaque = true
+			return flowNext
+		}
+	}
+	if restFlow == flowBail {
+		// The continuation always fails validation; only the returning
+		// arms describe wire layout.
+		kept := results[:0]
+		for _, r := range results {
+			if r.fl == flowReturn {
+				kept = append(kept, r)
+			}
+		}
+		if len(kept) == 0 {
+			return flowBail
+		}
+		x.emitAlt(f, kept, nil)
+		return flowReturn
+	}
+	x.emitAlt(f, results, rf.ops)
+	return flowReturn
+}
+
+// emitAlt appends the alternation of the arms to f, appending cont to
+// every fall-through arm. A vacuous alternation (every arm empty, no
+// continuation) — the shape of a pure validation guard — emits nothing,
+// so guards inside loop bodies don't obscure the repetition shape.
+func (x *extractor) emitAlt(f *frame, results []armResult, cont []op) {
+	if len(cont) == 0 {
+		empty := true
+		for _, r := range results {
+			if len(r.ops) > 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			return
+		}
+	}
+	var alts [][]op
+	for _, r := range results {
+		ops := r.ops
+		if r.fl == flowNext && cont != nil {
+			ops = append(append([]op{}, ops...), cont...)
+		}
+		alts = append(alts, ops)
+	}
+	f.ops = append(f.ops, op{kind: oAlt, alts: alts})
+}
+
+// ret classifies a return as success (part of the wire layout) or a
+// validation bail-out (discarded).
+func (x *extractor) ret(f *frame, s *ast.ReturnStmt) flow {
+	for _, r := range s.Results {
+		if x.consumingCall(r) {
+			continue
+		}
+		if x.bailResult(r) {
+			return flowBail
+		}
+	}
+	for _, r := range s.Results {
+		x.scan(f, r)
+	}
+	x.flush(f, -1)
+	return flowReturn
+}
+
+// consumingCall reports whether e is a call that reads from a cursor —
+// `return p.UnmarshalBinary(data[:n])` or `return r.decode(data)` is
+// the tail of the wire layout, not a validation bail, even though its
+// result includes an error. A bare cursor into a callee outside the
+// package (fmt.Errorf("%x", data)) does not count: only a slice handoff
+// or a same-package delegation consumes.
+func (x *extractor) consumingCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	local := false
+	if callee := ssa.Callee(x.info, call); callee != nil {
+		local = x.decls[callee] != nil
+	}
+	for _, a := range call.Args {
+		if obj, _, _, _ := x.cursorArg(a); obj == nil {
+			continue
+		}
+		if _, sliced := ast.Unparen(a).(*ast.SliceExpr); sliced || local {
+			return true
+		}
+	}
+	return false
+}
+
+// bailResult reports whether e marks the return as a failure path: a
+// constant false, or a non-nil error-typed value. A tail call whose
+// result tuple includes an error also counts — unless it consumes the
+// cursor (see consumingCall), in which case it is delegation, not
+// validation.
+func (x *extractor) bailResult(e ast.Expr) bool {
+	tv, ok := x.info.Types[e]
+	if !ok {
+		return false
+	}
+	if tv.Value != nil && tv.Value.Kind() == constant.Bool && !constant.BoolVal(tv.Value) {
+		return true
+	}
+	if tv.IsNil() {
+		return false
+	}
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(tv.Type)
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errType)
+}
+
+// loop models a counted or variable repetition of body.
+func (x *extractor) loop(f *frame, init ast.Stmt, body *ast.BlockStmt, trip int64) {
+	if init != nil {
+		x.stmt(f, init)
+	}
+	bf := &frame{}
+	if fl := x.walk(bf, body.List); fl == flowReturn {
+		// A loop body that returns success mid-iteration has no single
+		// repetition shape.
+		x.opaque = true
+		return
+	}
+	if x.opaque {
+		return
+	}
+	switch {
+	case len(bf.ops) > 0 && len(bf.pend) == 0:
+		if trip >= 0 {
+			if trip > maxFill {
+				x.opaque = true
+				return
+			}
+			for i := int64(0); i < trip; i++ {
+				f.ops = append(f.ops, bf.ops...)
+			}
+		} else {
+			f.ops = append(f.ops, op{kind: oRep, body: bf.ops})
+		}
+	case len(bf.ops) == 0 && len(bf.pend) > 0:
+		// Reads at loop-varying offsets (data[8*i:]): positions are
+		// unknowable, order is not.
+		if trip >= 0 {
+			if trip > maxFill {
+				x.opaque = true
+				return
+			}
+			for i := int64(0); i < trip; i++ {
+				for _, p := range bf.pend {
+					p.off = -1
+					f.pend = append(f.pend, p)
+				}
+			}
+		} else {
+			var reps []op
+			for _, p := range bf.pend {
+				reps = append(reps, pendingOp(p))
+			}
+			f.pend = append(f.pend, pending{kind: oRep, off: -1, rep: reps})
+		}
+	case len(bf.ops) > 0 && len(bf.pend) > 0:
+		x.opaque = true
+	}
+}
+
+// forTripCount recognizes `for i := 0; i < CONST; i++`.
+func forTripCount(info *types.Info, s *ast.ForStmt) int64 {
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.LSS && cond.Op != token.LEQ) {
+		return -1
+	}
+	n, ok := constVal(info, cond.Y)
+	if !ok {
+		return -1
+	}
+	init, ok := s.Init.(*ast.AssignStmt)
+	if !ok || len(init.Rhs) != 1 {
+		return -1
+	}
+	start, ok := constVal(info, init.Rhs[0])
+	if !ok {
+		return -1
+	}
+	if cond.Op == token.LEQ {
+		n++
+	}
+	return n - start
+}
+
+// rangeTripCount recognizes ranges over composite literals and over
+// locals whose single assignment is make(T, CONST).
+func (x *extractor) rangeTripCount(s *ast.RangeStmt) int64 {
+	switch e := ast.Unparen(s.X).(type) {
+	case *ast.CompositeLit:
+		return int64(len(e.Elts))
+	case *ast.Ident:
+		obj := x.info.Uses[e]
+		if obj == nil {
+			return -1
+		}
+		assigns := ssa.Assignments(x.info, x.scope, obj)
+		if len(assigns) != 1 {
+			return -1
+		}
+		call, ok := assigns[0].(*ast.CallExpr)
+		if !ok || !isBuiltin(x.info, call, "make") || len(call.Args) < 2 {
+			return -1
+		}
+		if n, ok := constVal(x.info, call.Args[1]); ok {
+			return n
+		}
+	}
+	return -1
+}
+
+func constVal(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// stmt handles a leaf statement.
+func (x *extractor) stmt(f *frame, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		x.assign(f, s)
+	case *ast.ExprStmt:
+		x.scan(f, s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						x.scan(f, v)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt, *ast.BranchStmt, *ast.EmptyStmt:
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok != token.CONTINUE {
+			// break/goto/fallthrough change the repetition shape.
+			x.opaque = true
+		}
+	case *ast.GoStmt, *ast.DeferStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.SendStmt:
+		x.opaque = true
+	default:
+		x.opaque = true
+	}
+}
+
+func (x *extractor) assign(f *frame, s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		for _, r := range s.Rhs {
+			x.scan(f, r)
+		}
+		return
+	}
+	for i := range s.Lhs {
+		x.assignOne(f, s.Lhs[i], s.Rhs[i])
+	}
+}
+
+func (x *extractor) assignOne(f *frame, lhs, rhs ast.Expr) {
+	lid, _ := ast.Unparen(lhs).(*ast.Ident)
+	sl, slOK := ast.Unparen(rhs).(*ast.SliceExpr)
+	var slObj types.Object
+	if slOK {
+		if base, ok := ast.Unparen(sl.X).(*ast.Ident); ok {
+			slObj = x.info.Uses[base]
+		}
+	}
+	if lid != nil && slObj != nil && x.cursors[slObj] {
+		lobj := x.info.Defs[lid]
+		if lobj == nil {
+			lobj = x.info.Uses[lid]
+		}
+		if lobj == slObj {
+			// data = data[k:] — the advance that fixes pending offsets.
+			x.flush(f, sliceLow(x.info, sl))
+			return
+		}
+		if lobj != nil && isByteSlice(lobj.Type()) && !isTrailerSlice(x.info, x.cursors, sl) {
+			// rest := body[hdr:] — a renamed view; the skipped prefix
+			// is unread header bytes.
+			x.cursors[lobj] = true
+			x.flush(f, sliceLow(x.info, sl))
+			return
+		}
+	}
+	x.scan(f, rhs)
+}
+
+// sliceLow is the const low bound of sl, 0 when absent, -1 when dynamic.
+func sliceLow(info *types.Info, sl *ast.SliceExpr) int64 {
+	if sl.Low == nil {
+		return 0
+	}
+	if k, ok := constVal(info, sl.Low); ok {
+		return k
+	}
+	return -1
+}
+
+// isTrailerSlice reports whether sl is cursor[len(cursor)-k:], the
+// trailing-checksum view.
+func isTrailerSlice(info *types.Info, cursors map[types.Object]bool, sl *ast.SliceExpr) bool {
+	off, ok := trailerOffset(info, cursors, sl.Low)
+	return ok && off > 0
+}
+
+func trailerOffset(info *types.Info, cursors map[types.Object]bool, low ast.Expr) (int64, bool) {
+	be, ok := ast.Unparen(low).(*ast.BinaryExpr)
+	if !ok || be.Op != token.SUB {
+		return 0, false
+	}
+	call, ok := ast.Unparen(be.X).(*ast.CallExpr)
+	if !ok || !isBuiltin(info, call, "len") || len(call.Args) != 1 {
+		return 0, false
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || !cursors[info.Uses[id]] {
+		return 0, false
+	}
+	k, ok := constVal(info, be.Y)
+	return k, ok
+}
+
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// --- expression scanning --------------------------------------------------
+
+// scan walks an expression for wire operations: appends and
+// binary.Append* on the encode side, cursor reads on the decode side,
+// and calls of single-assignment codec closures on both.
+func (x *extractor) scan(f *frame, e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if x.opaque {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // extracted only at call sites
+		case *ast.CallExpr:
+			return x.call(f, n)
+		case *ast.IndexExpr:
+			if obj := x.cursorIdent(n.X); obj != nil {
+				off := int64(-1)
+				if k, ok := constVal(x.info, n.Index); ok {
+					off = k
+				}
+				f.pend = append(f.pend, pending{kind: oU8, off: off})
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// cursorIdent resolves e to a registered cursor object, or nil.
+func (x *extractor) cursorIdent(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := x.info.Uses[id]
+	if obj != nil && x.cursors[obj] {
+		return obj
+	}
+	return nil
+}
+
+// cursorArg classifies a call argument that views a cursor: the bare
+// cursor, or a slice/expression over one. width is the const byte span
+// when derivable, off the const start offset (-1 unknown).
+func (x *extractor) cursorArg(e ast.Expr) (obj types.Object, off, width int64, trailer bool) {
+	e = ast.Unparen(e)
+	if obj := x.cursorIdent(e); obj != nil {
+		return obj, 0, -1, false
+	}
+	sl, ok := e.(*ast.SliceExpr)
+	if !ok {
+		return nil, 0, 0, false
+	}
+	obj = x.cursorIdent(sl.X)
+	if obj == nil {
+		return nil, 0, 0, false
+	}
+	off, width = -1, -1
+	if k, ok := trailerOffset(x.info, x.cursors, sl.Low); ok {
+		return obj, k, -1, true
+	}
+	low := int64(0)
+	lowConst := sl.Low == nil
+	if sl.Low != nil {
+		if k, ok := constVal(x.info, sl.Low); ok {
+			low, lowConst = k, true
+		}
+	}
+	if lowConst {
+		off = low
+		if sl.High != nil {
+			if h, ok := constVal(x.info, sl.High); ok {
+				width = h - low
+			}
+		}
+	}
+	return obj, off, width, false
+}
+
+// call handles one call expression; the return value feeds ast.Inspect
+// (false = handled, do not descend into arguments).
+func (x *extractor) call(f *frame, call *ast.CallExpr) bool {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, ok := x.info.Uses[id].(*types.Builtin); ok {
+			switch id.Name {
+			case "append":
+				x.appendCall(f, call)
+				return false
+			case "copy":
+				if len(call.Args) == 2 {
+					if obj, off, w, tr := x.cursorArg(call.Args[1]); obj != nil {
+						if w < 0 {
+							// copy(fp[:], rest[i*Size:]): the destination
+							// array bounds the read when the source does not.
+							w = x.sliceWidth(call.Args[0])
+						}
+						x.addPend(f, pending{kind: oBytes, off: off, width: w}, tr)
+					}
+				}
+				return false
+			case "len", "cap", "make", "new", "min", "max":
+				return false
+			}
+			return true
+		}
+	}
+	// Type conversions: string(data), time.Duration(u64(...)).
+	if tv, ok := x.info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			if obj, off, w, tr := x.cursorArg(call.Args[0]); obj != nil {
+				x.addPend(f, pending{kind: oBytes, off: off, width: w}, tr)
+				return false
+			}
+		}
+		return true
+	}
+	// Codec closures: a func-typed local assigned exactly one FuncLit.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if v, ok := x.info.Uses[id].(*types.Var); ok {
+			if _, isSig := v.Type().Underlying().(*types.Signature); isSig {
+				x.closureCall(f, v)
+				return false
+			}
+		}
+	}
+	// Named functions and methods.
+	if callee := ssa.Callee(x.info, call); callee != nil {
+		if analysis.FuncPkgPath(callee) == "encoding/binary" {
+			if x.binaryCall(f, call, callee.Name()) {
+				return false
+			}
+		}
+		// Same-package delegation: when a cursor flows into a function
+		// whose body is in this package (r.decode(data), readSeal(data,
+		// &fp)), splice the callee's own wire ops in place of the call.
+		if decl := x.decls[callee]; decl != nil {
+			for _, a := range call.Args {
+				if obj, _, _, _ := x.cursorArg(a); obj != nil {
+					x.flush(f, -1)
+					ops, ok := x.funcOps(callee, decl)
+					if !ok {
+						x.opaque = true
+						return false
+					}
+					f.ops = append(f.ops, ops...)
+					return false
+				}
+			}
+		}
+	}
+	// Any other call. A cursor sliced to a bounded window
+	// (h.UnmarshalBinary(data[:n])) is a delegated sub-decoding of
+	// exactly that window: one bytes read. An open-ended handoff to a
+	// decoder whose body we cannot see (chunk.DecodeRecipe(data[8:]))
+	// leaves the consumed width — and any reads through the returned
+	// remainder — unknowable, so the function is not modeled. A bare
+	// cursor argument is a whole-buffer observer
+	// (crc32.ChecksumIEEE(body)) and reads nothing new.
+	for _, a := range call.Args {
+		se, ok := ast.Unparen(a).(*ast.SliceExpr)
+		if !ok {
+			continue
+		}
+		if obj, off, w, tr := x.cursorArg(a); obj != nil {
+			if se.High == nil {
+				x.opaque = true
+				return false
+			}
+			x.addPend(f, pending{kind: oBytes, off: off, width: w}, tr)
+			return false
+		}
+	}
+	return true
+}
+
+func (x *extractor) addPend(f *frame, p pending, trailer bool) {
+	if trailer {
+		x.trailer = append(x.trailer, p)
+		return
+	}
+	f.pend = append(f.pend, p)
+}
+
+// appendCall models append(buf, ...): flag/magic bytes and raw blobs.
+func (x *extractor) appendCall(f *frame, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	if call.Ellipsis != token.NoPos {
+		arg := call.Args[len(call.Args)-1]
+		if tv, ok := x.info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			s := constant.StringVal(tv.Value)
+			f.ops = append(f.ops, op{kind: oBytes, width: int64(len(s))})
+			return
+		}
+		f.ops = append(f.ops, op{kind: oBytes, width: x.sliceWidth(arg)})
+		return
+	}
+	for range call.Args[1:] {
+		f.ops = append(f.ops, op{kind: oU8})
+	}
+}
+
+// sliceWidth returns the constant byte length of a slice expression —
+// const bounds (buf[2:6]), or a full/low-bounded slice of an array
+// (fp[:], where fp is a [20]byte) — and -1 when the length is not
+// statically known.
+func (x *extractor) sliceWidth(e ast.Expr) int64 {
+	se, ok := ast.Unparen(e).(*ast.SliceExpr)
+	if !ok || se.Slice3 {
+		return -1
+	}
+	var low int64
+	if se.Low != nil {
+		v, ok := constVal(x.info, se.Low)
+		if !ok {
+			return -1
+		}
+		low = v
+	}
+	if se.High != nil {
+		if v, ok := constVal(x.info, se.High); ok && v >= low {
+			return v - low
+		}
+		return -1
+	}
+	if tv, ok := x.info.Types[se.X]; ok && tv.Type != nil {
+		t := tv.Type.Underlying()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem().Underlying()
+		}
+		if arr, ok := t.(*types.Array); ok && arr.Len() >= low {
+			return arr.Len() - low
+		}
+	}
+	return -1
+}
+
+// binaryCall models encoding/binary writers and readers by name.
+func (x *extractor) binaryCall(f *frame, call *ast.CallExpr, name string) bool {
+	emit := func(k opKind) bool {
+		f.ops = append(f.ops, op{kind: k})
+		return true
+	}
+	read := func(k opKind, width int64) bool {
+		if len(call.Args) == 0 {
+			return false
+		}
+		argIdx := 0
+		if name == "Uint16" || name == "Uint32" || name == "Uint64" {
+			argIdx = len(call.Args) - 1
+		}
+		obj, off, _, tr := x.cursorArg(call.Args[argIdx])
+		if obj == nil {
+			return false
+		}
+		x.addPend(f, pending{kind: k, off: off, width: width}, tr)
+		return true
+	}
+	switch name {
+	case "AppendUint16":
+		return emit(oU16)
+	case "AppendUint32":
+		return emit(oU32)
+	case "AppendUint64":
+		return emit(oU64)
+	case "AppendUvarint", "AppendVarint":
+		return emit(oUvarint)
+	case "Uint16":
+		return read(oU16, 2)
+	case "Uint32":
+		return read(oU32, 4)
+	case "Uint64":
+		return read(oU64, 8)
+	case "Uvarint", "Varint":
+		return read(oUvarint, -1)
+	}
+	return false
+}
+
+// closureCall splices the ops of a single-assignment codec closure.
+func (x *extractor) closureCall(f *frame, v *types.Var) {
+	if ops, ok := x.closure[v]; ok {
+		f.ops = append(f.ops, ops...)
+		return
+	}
+	lit := ssa.ClosureValue(x.info, x.scope, v)
+	if lit == nil {
+		x.opaque = true
+		return
+	}
+	x.closure[v] = nil // cut self-recursive closures
+	cf := &frame{}
+	fl := x.walk(cf, lit.Body.List)
+	if fl == flowNext {
+		x.flush(cf, -1)
+	}
+	if x.opaque {
+		return
+	}
+	x.closure[v] = cf.ops
+	f.ops = append(f.ops, cf.ops...)
+}
+
+// --- pending layout -------------------------------------------------------
+
+// flush converts f's pending reads into ops. When every pending has a
+// known offset and width the advance limit (data = data[limit:]) lets
+// reads be laid out positionally, with unread gaps (version bytes
+// checked inside if-conditions, magic prefixes) filled as u8. Otherwise
+// pendings are emitted in the order the reads appeared.
+func (x *extractor) flush(f *frame, limit int64) {
+	pend := f.pend
+	f.pend = nil
+	if len(pend) == 0 {
+		if limit > 0 {
+			if limit > maxFill {
+				x.opaque = true
+				return
+			}
+			for i := int64(0); i < limit; i++ {
+				f.ops = append(f.ops, op{kind: oU8})
+			}
+		}
+		return
+	}
+	layout := true
+	for _, p := range pend {
+		if p.off < 0 || fixedWidth(pendingOp(p)) < 0 {
+			layout = false
+			break
+		}
+	}
+	if layout {
+		sorted := append([]pending{}, pend...)
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].off < sorted[j].off })
+		var ops []op
+		cur := int64(0)
+		ok := true
+		for _, p := range sorted {
+			gap := p.off - cur
+			if gap < 0 || gap > maxFill {
+				ok = false
+				break
+			}
+			for i := int64(0); i < gap; i++ {
+				ops = append(ops, op{kind: oU8})
+			}
+			o := pendingOp(p)
+			ops = append(ops, o)
+			cur = p.off + fixedWidth(o)
+		}
+		if ok && limit > 0 {
+			tail := limit - cur
+			if tail < 0 || tail > maxFill {
+				ok = false
+			} else {
+				for i := int64(0); i < tail; i++ {
+					ops = append(ops, op{kind: oU8})
+				}
+			}
+		}
+		if ok {
+			f.ops = append(f.ops, ops...)
+			return
+		}
+	}
+	for _, p := range pend {
+		f.ops = append(f.ops, pendingOp(p))
+	}
+}

@@ -1,0 +1,12 @@
+package wiresym_test
+
+import (
+	"testing"
+
+	"dedupcr/internal/analysis/analysistest"
+	"dedupcr/internal/analysis/wiresym"
+)
+
+func TestWireSym(t *testing.T) {
+	analysistest.Run(t, wiresym.Analyzer, "wire")
+}
